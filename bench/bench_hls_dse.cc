@@ -1,0 +1,76 @@
+// EXP-C10-hls — automatic HLS design-space exploration under area and
+// performance constraints (paper §4.3: "providing a way to specify
+// performance and area constraints, and then automatically exploring
+// high-performance hardware implementation techniques, such as pipelining,
+// loop unrolling, as well as data storage and data-path partitioning and
+// duplication, starting from a non-hardware specific OpenCL model").
+#include <iostream>
+
+#include "bench_util.h"
+#include "hls/dse.h"
+
+namespace ecoscale {
+namespace {
+
+void print_front(const KernelIR& kernel) {
+  const auto front = pareto_front(enumerate_designs(kernel));
+  Table t({"design (U/pipe/P/D)", "II", "depth", "slots", "items/cycle",
+           "Gitems/s @0.25GHz", "pJ/item"});
+  for (const auto& p : front) {
+    const auto& d = p.design;
+    t.add_row({"U" + std::to_string(d.unroll) +
+                   (d.pipeline ? "/pipe" : "/seq") + "/P" +
+                   std::to_string(d.array_partition) + "/D" +
+                   std::to_string(d.dram_ports),
+               fmt_u64(p.ii), fmt_u64(p.depth), fmt_u64(p.slots),
+               fmt_fixed(p.items_per_cycle, 3),
+               fmt_fixed(p.throughput_gitems_s(0.25), 3),
+               fmt_fixed(p.pj_per_item, 1)});
+  }
+  bench::print_table(t, "Pareto front for kernel '" + kernel.name + "' (" +
+                            std::to_string(
+                                enumerate_designs(kernel).size()) +
+                            " points explored):");
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header("EXP-C10-hls",
+                      "constraint-driven HLS exploration without designer "
+                      "intervention (claim C10)");
+
+  for (const auto& kernel :
+       {make_stencil5_kernel(), make_matmul_tile_kernel(),
+        make_montecarlo_kernel(), make_cart_split_kernel()}) {
+    print_front(kernel);
+  }
+
+  // Constraint-driven selection, the user-facing entry point.
+  Table sel({"kernel", "area budget (slots)", "selected design", "items/cycle"});
+  for (const auto& kernel :
+       {make_stencil5_kernel(), make_montecarlo_kernel(),
+        make_matmul_tile_kernel()}) {
+    for (const std::size_t budget : {4u, 16u, 64u, 256u}) {
+      DseConstraints c;
+      c.max_slots = budget;
+      const auto pick = select_design(kernel, c);
+      if (!pick) {
+        sel.add_row({kernel.name, fmt_u64(budget), "(none fits)", "-"});
+        continue;
+      }
+      sel.add_row({kernel.name, fmt_u64(budget),
+                   "U" + std::to_string(pick->design.unroll) + "/P" +
+                       std::to_string(pick->design.array_partition) + "/D" +
+                       std::to_string(pick->design.dram_ports) + " (" +
+                       std::to_string(pick->slots) + " slots)",
+                   fmt_fixed(pick->items_per_cycle, 3)});
+    }
+  }
+  bench::print_table(sel,
+                     "select_design() under tightening area budgets — the\n"
+                     "runtime's module-variant generator:");
+  return 0;
+}

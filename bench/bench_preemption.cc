@@ -1,0 +1,113 @@
+// EXP-C7b-preempt — pre-emptive hardware execution and accelerator
+// migration (paper §4.3: the middleware's "virtualization features, such
+// as defragmenting the reconfigurable resources, accelerator migration,
+// and pre-emptive hardware execution").
+#include <iostream>
+
+#include "bench_util.h"
+#include "hls/dse.h"
+#include "worker/preemption.h"
+
+namespace ecoscale {
+namespace {
+
+WorkerConfig fabric8x8() {
+  WorkerConfig cfg;
+  cfg.fabric.fabric_width = 8;
+  cfg.fabric.fabric_height = 8;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header("EXP-C7b-preempt",
+                      "pre-emptive hardware execution and accelerator "
+                      "migration (claim C7, middleware roles)");
+
+  const auto low = emit_variants(make_sha_like_kernel(), 1).front();
+  const auto high = emit_variants(make_montecarlo_kernel(), 1).front();
+  constexpr std::uint64_t kLowItems = 2'000'000;
+  constexpr std::uint64_t kHighItems = 20'000;
+
+  Table t({"high arrives at", "policy", "high response", "low finish",
+           "overhead energy"});
+  for (const SimTime arrival :
+       {microseconds(100), microseconds(1000), microseconds(4000)}) {
+    {
+      Worker w({0, 0}, fabric8x8());
+      const auto r =
+          run_preemptive(w, low, kLowItems, high, kHighItems, arrival);
+      t.add_row({fmt_time_ps(static_cast<double>(arrival)), "preemptive",
+                 fmt_time_ps(static_cast<double>(r.high_finish - arrival)),
+                 fmt_time_ps(static_cast<double>(r.low_finish)),
+                 fmt_energy_pj(r.overhead_energy)});
+    }
+    {
+      Worker w({0, 1}, fabric8x8());
+      const auto r =
+          run_to_completion(w, low, kLowItems, high, kHighItems, arrival);
+      t.add_row({fmt_time_ps(static_cast<double>(arrival)),
+                 "run-to-completion",
+                 fmt_time_ps(static_cast<double>(r.high_finish - arrival)),
+                 fmt_time_ps(static_cast<double>(r.low_finish)), "0"});
+    }
+  }
+  bench::print_table(
+      t,
+      "A latency-critical job (20k items) arrives while a 2M-item batch\n"
+      "job holds the fabric. Pre-emption trades batch completion time for\n"
+      "interactive response:");
+
+  // Context-size sensitivity: the save/restore cost that bounds how
+  // fine-grained pre-emption can be.
+  Table ctx({"context size", "checkpoint time", "round-trip overhead"});
+  for (const Bytes bytes :
+       {kibibytes(2), kibibytes(8), kibibytes(32), kibibytes(128)}) {
+    PreemptionConfig cfg;
+    cfg.context_bytes = bytes;
+    Worker w({0, 0}, fabric8x8());
+    (void)w.run_hardware(low, 1000, 0);
+    const auto ck = checkpoint_accelerator(w.fabric(), low, 0, cfg);
+    const SimDuration roundtrip =
+        2 * (ck.done - 0) + cfg.resume_latency;
+    ctx.add_row({fmt_bytes(static_cast<double>(bytes)),
+                 fmt_time_ps(static_cast<double>(ck.done)),
+                 fmt_time_ps(static_cast<double>(roundtrip))});
+  }
+  bench::print_table(ctx,
+                     "Checkpoint cost vs. architectural-context size "
+                     "(ICAP readback at 400 MB/s):");
+
+  // Migration vs. restart-from-scratch for a long-running accelerator job
+  // (total 4M items) that must vacate its worker (thermal/defrag
+  // pressure) part-way through. Migration resumes from the checkpointed
+  // context; restarting loses the completed progress.
+  Table mig({"progress when displaced", "migrate (resume)",
+             "restart (redo all)", "migration wins by"});
+  constexpr std::uint64_t kTotal = 4'000'000;
+  for (const double progress : {0.25, 0.5, 0.75}) {
+    const auto remaining =
+        static_cast<std::uint64_t>(kTotal * (1.0 - progress));
+    Worker src({0, 0}, fabric8x8());
+    Worker dst({0, 1}, fabric8x8());
+    (void)src.run_hardware(high, 1000, 0);
+    const auto m =
+        migrate_accelerator(src, dst, high, remaining, microseconds(100));
+    Worker dst2({0, 2}, fabric8x8());
+    const auto r = dst2.run_hardware(high, kTotal, microseconds(100));
+    mig.add_row({fmt_pct(progress),
+                 fmt_time_ps(static_cast<double>(m.finish)),
+                 fmt_time_ps(static_cast<double>(r->finish)),
+                 fmt_ratio(static_cast<double>(r->finish) /
+                           static_cast<double>(m.finish))});
+  }
+  bench::print_table(
+      mig,
+      "Moving a live accelerator (with its 8 KiB context) vs. reconfiguring\n"
+      "elsewhere and redoing the lost work. The win is the preserved\n"
+      "progress; the cost is checkpoint + context transfer:");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// EXP-C7-reconfig — partial reconfiguration cost: bounding-box floorplans
+// and bitstream compression (paper §4.3: "By minimizing module bounding
+// boxes and by using configuration data compression [11], we will reduce
+// memory requirements, configuration latency and configuration power
+// consumption at the same time.") plus middleware defragmentation.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "fabric/reconfig.h"
+#include "hls/dse.h"
+
+namespace ecoscale {
+namespace {
+
+std::vector<AcceleratorModule> module_library() {
+  std::vector<AcceleratorModule> lib;
+  for (const auto& k :
+       {make_stencil5_kernel(), make_matmul_tile_kernel(),
+        make_montecarlo_kernel(), make_cart_split_kernel(),
+        make_sha_like_kernel(), make_spmv_kernel()}) {
+    lib.push_back(emit_variants(k, 1).front());
+  }
+  return lib;
+}
+
+struct ModeOutcome {
+  Bytes total_bytes = 0;
+  SimDuration total_config_time = 0;
+  Picojoules energy = 0.0;
+};
+
+ModeOutcome load_library(BitstreamMode mode, CompressionMode comp) {
+  ReconfigConfig cfg;
+  cfg.fabric_width = 16;
+  cfg.fabric_height = 8;
+  cfg.bitstream_mode = mode;
+  cfg.compression = comp;
+  ReconfigManager mgr("f", cfg);
+  SimTime now = 0;
+  ModeOutcome out;
+  for (const auto& m : module_library()) {
+    const auto r = mgr.ensure_loaded(m, now);
+    if (!r) continue;  // oversized module under this island scheme
+    now = r->ready;
+    out.total_bytes += r->config_bytes;
+  }
+  out.total_config_time = mgr.config_time();
+  out.energy = mgr.energy().total();
+  return out;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header("EXP-C7-reconfig",
+                      "bounding boxes + compression cut configuration cost "
+                      "(claim C7)");
+
+  Table t({"floorplan", "compression", "bitstream bytes", "config time",
+           "config energy", "vs. baseline"});
+  const auto baseline =
+      load_library(BitstreamMode::kFullRegion, CompressionMode::kNone);
+  for (const auto& [fp_name, fp] :
+       {std::pair{"full-region island", BitstreamMode::kFullRegion},
+        std::pair{"bounding-box (GoAhead)", BitstreamMode::kBoundingBox}}) {
+    for (const auto& [c_name, comp] :
+         {std::pair{"none", CompressionMode::kNone},
+          std::pair{"zero-RLE", CompressionMode::kRle},
+          std::pair{"LZ dictionary", CompressionMode::kLz}}) {
+      const auto out = load_library(fp, comp);
+      t.add_row({fp_name, c_name,
+                 fmt_bytes(static_cast<double>(out.total_bytes)),
+                 fmt_time_ps(static_cast<double>(out.total_config_time)),
+                 fmt_energy_pj(out.energy),
+                 fmt_ratio(static_cast<double>(baseline.total_bytes) /
+                           static_cast<double>(out.total_bytes))});
+    }
+  }
+  bench::print_table(
+      t, "Loading the 6-kernel accelerator module library once (ICAP at "
+         "400 MB/s):");
+
+  // Defragmentation ablation: module churn on a small fabric.
+  Table defrag({"defrag", "placement failures", "defrag runs",
+                "final fragmentation"});
+  for (const bool allow : {false, true}) {
+    ReconfigConfig cfg;
+    cfg.fabric_width = 8;
+    cfg.fabric_height = 8;
+    cfg.allow_defrag = allow;
+    ReconfigManager mgr("f", cfg);
+    const auto lib = module_library();
+    Rng rng(31);
+    SimTime now = 0;
+    int failures = 0;
+    for (int step = 0; step < 400; ++step) {
+      const auto& m = lib[rng.uniform_u64(lib.size())];
+      now += microseconds(200);
+      const auto r = mgr.ensure_loaded(m, now);
+      if (!r) {
+        ++failures;
+        continue;
+      }
+      now = std::max(now, r->ready);
+      // Occasionally retire a random loaded module to create holes.
+      if (rng.chance(0.3)) {
+        const auto& victim = lib[rng.uniform_u64(lib.size())];
+        if (mgr.is_loaded(victim.kernel)) mgr.unload(victim.kernel);
+      }
+    }
+    defrag.add_row({allow ? "on" : "off", fmt_u64(failures),
+                    fmt_u64(mgr.defrag_runs()),
+                    fmt_pct(mgr.floorplan().fragmentation())});
+  }
+  bench::print_table(
+      defrag,
+      "400-step module churn on an 8x8 fabric, with and without the\n"
+      "middleware's defragmentation (module relocation):");
+  return 0;
+}

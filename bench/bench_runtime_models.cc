@@ -1,0 +1,165 @@
+// EXP-C8-models — learned input-dependent models drive the HW/SW decision
+// (paper §4.2, Figure 5: "new algorithms for choosing on the fly the most
+// appropriate device to execute each function … input-dependent models of
+// execution time and energy to select the best device").
+//
+// Workload: a mixed stream of kernels with wildly varying input sizes —
+// exactly the regime where one static answer is wrong: small calls belong
+// on the CPU (reconfiguration + pipeline fill dominate), large calls on
+// the fabric. The model-based policy must learn the crossover per kernel.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "hls/dse.h"
+#include "runtime/scheduler.h"
+
+namespace ecoscale {
+namespace {
+
+struct PolicyOutcome {
+  double makespan_ms = 0.0;
+  double energy_mj = 0.0;
+  double hw_frac = 0.0;
+  double mean_turnaround_us = 0.0;
+};
+
+std::vector<Task> make_stream(const std::vector<KernelIR>& kernels,
+                              std::size_t workers, int count,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  SimTime t = 0;
+  for (int i = 0; i < count; ++i) {
+    t += static_cast<SimTime>(rng.exponential(
+        static_cast<double>(microseconds(150))));
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    const auto& k = kernels[rng.uniform_u64(kernels.size())];
+    task.kernel = k.id;
+    // Log-uniform sizes: 100 … 1M items.
+    const double log_items = rng.uniform(2.0, 6.0);
+    task.items = static_cast<std::uint64_t>(std::pow(10.0, log_items));
+    task.features.items = static_cast<double>(task.items);
+    task.features.bytes =
+        static_cast<double>(task.items * (k.bytes_in + k.bytes_out));
+    const std::size_t w = rng.uniform_u64(workers);
+    task.home = WorkerCoord{static_cast<NodeId>(w / 4),
+                            static_cast<WorkerId>(w % 4)};
+    task.release = t;
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+PolicyOutcome run(PlacementPolicy placement, Objective objective,
+                  const std::vector<KernelIR>& kernels,
+                  const std::vector<Task>& stream) {
+  MachineConfig mc;
+  mc.nodes = 2;
+  mc.workers_per_node = 4;
+  Machine machine(mc);
+  Simulator sim;
+  RuntimeConfig rc;
+  rc.placement = placement;
+  rc.objective = objective;
+  rc.size_threshold = 20000;
+  RuntimeSystem runtime(machine, sim, rc);
+  for (const auto& k : kernels) {
+    runtime.register_kernel(k, emit_variants(k, 2));
+  }
+  for (const auto& t : stream) runtime.submit(t);
+  runtime.run();
+  const auto s = runtime.stats();
+  PolicyOutcome out;
+  out.makespan_ms = to_milliseconds(s.makespan);
+  out.energy_mj = to_millijoules(s.energy);
+  out.hw_frac = static_cast<double>(s.hw_tasks) /
+                static_cast<double>(s.hw_tasks + s.sw_tasks);
+  out.mean_turnaround_us = s.turnaround_ns.mean() / 1000.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header(
+      "EXP-C8-models",
+      "learned time/energy models pick the right device per call (claim C8)");
+
+  const std::vector<KernelIR> kernels = {
+      make_stencil5_kernel(), make_montecarlo_kernel(),
+      make_cart_split_kernel(), make_spmv_kernel()};
+  const auto stream = make_stream(kernels, 8, 400, 0xDEC0DE);
+
+  Table t({"placement policy", "makespan", "energy", "HW fraction",
+           "mean turnaround"});
+  const auto rows = {
+      std::pair{"always software", PlacementPolicy::kAlwaysSoftware},
+      std::pair{"always hardware", PlacementPolicy::kAlwaysHardware},
+      std::pair{"size threshold (20k)", PlacementPolicy::kSizeThreshold},
+      std::pair{"model-based (learned)", PlacementPolicy::kModelBased},
+  };
+  for (const auto& [name, policy] : rows) {
+    const auto out = run(policy, Objective::kTime, kernels, stream);
+    t.add_row({name, fmt_fixed(out.makespan_ms, 2) + " ms",
+               fmt_fixed(out.energy_mj, 2) + " mJ", fmt_pct(out.hw_frac),
+               fmt_fixed(out.mean_turnaround_us, 0) + " us"});
+  }
+  bench::print_table(
+      t,
+      "400 mixed-kernel calls, log-uniform sizes 1e2..1e6 items, 8 workers\n"
+      "(time objective). The learned policy should approach the better of\n"
+      "the static extremes on makespan without their energy pathologies:");
+
+  Table obj({"objective", "makespan", "energy", "HW fraction"});
+  for (const auto& [name, o] :
+       {std::pair{"minimise time", Objective::kTime},
+        std::pair{"minimise energy", Objective::kEnergy},
+        std::pair{"minimise energy-delay", Objective::kEnergyDelay}}) {
+    const auto out =
+        run(PlacementPolicy::kModelBased, o, kernels, stream);
+    obj.add_row({name, fmt_fixed(out.makespan_ms, 2) + " ms",
+                 fmt_fixed(out.energy_mj, 2) + " mJ",
+                 fmt_pct(out.hw_frac)});
+  }
+  bench::print_table(obj,
+                     "Model-based policy under different objectives "
+                     "(§4.2's scheduler knobs):");
+
+  // Learning curve: prediction quality by stream position.
+  {
+    MachineConfig mc;
+    mc.nodes = 2;
+    mc.workers_per_node = 4;
+    Machine machine(mc);
+    Simulator sim;
+    RuntimeConfig rc;
+    rc.placement = PlacementPolicy::kModelBased;
+    RuntimeSystem runtime(machine, sim, rc);
+    for (const auto& k : kernels) {
+      runtime.register_kernel(k, emit_variants(k, 2));
+    }
+    for (const auto& task : stream) runtime.submit(task);
+    runtime.run();
+    Table learn({"stream segment", "HW fraction"});
+    const auto& results = runtime.results();
+    const std::size_t seg = results.size() / 4;
+    for (int q = 0; q < 4; ++q) {
+      std::size_t hw = 0;
+      for (std::size_t i = q * seg; i < (q + 1) * seg; ++i) {
+        if (results[i].device != DeviceClass::kCpu) ++hw;
+      }
+      learn.add_row({"Q" + std::to_string(q + 1),
+                     fmt_pct(static_cast<double>(hw) /
+                             static_cast<double>(seg))});
+    }
+    bench::print_table(learn,
+                       "Offload rate over time (training part -> actuation "
+                       "part, Figure 5):");
+  }
+  return 0;
+}

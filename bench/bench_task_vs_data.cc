@@ -1,0 +1,97 @@
+// EXP-C3-taskmove — move the task to the data, not the data to the task
+// (paper §2, §4.1: "The UNIMEM architecture allows moving tasks and
+// processes close to data instead of moving data around [7] and thus it
+// reduces significantly the data traffic and the associated energy
+// consumption and communication latency.").
+//
+// Workload: a reduction over a remote partition of `size` bytes.
+//   move-data:  DMA the partition to the caller, reduce locally.
+//   move-task:  ship a 256 B task closure to the owner, reduce there at
+//               local DRAM bandwidth, return an 8 B result.
+// The crossover where shipping data stops being acceptable is the series
+// the paper's argument predicts.
+#include <iostream>
+
+#include "bench_util.h"
+#include "unimem/pgas.h"
+#include "worker/cpu.h"
+
+namespace ecoscale {
+namespace {
+
+struct Outcome {
+  SimTime finish = 0;
+  Picojoules energy = 0.0;
+  Bytes moved = 0;
+};
+
+constexpr double kReduceCyclesPerByte = 0.25;  // 4 B/cycle streaming reduce
+
+Outcome move_data(Bytes size) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  CpuCluster cpu("caller", CpuConfig{});
+  const auto remote = pgas.alloc(1, 0, size);
+  // Pull the data, then reduce locally.
+  const auto dma = pgas.dma({0, 0}, remote, size, /*write=*/false, 0);
+  const auto exec = cpu.execute(
+      dma.finish, kReduceCyclesPerByte * static_cast<double>(size), 1);
+  return Outcome{exec.finish, dma.energy + exec.energy, size};
+}
+
+Outcome move_task(Bytes size) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  CpuCluster owner_cpu("owner", CpuConfig{});
+  // The partition lives at node 1 (allocation registers its pages; the
+  // owner-side reduction streams it straight from the local DRAM channel).
+  (void)pgas.alloc(1, 0, size);
+  // Ship the closure to the owner.
+  const auto mig = pgas.migrate_task({0, 0}, {1, 0}, 0);
+  // Owner reduces out of its local DRAM (streamed access).
+  const auto rd = pgas.dram({1, 0}).access(mig.finish, size);
+  const auto exec = owner_cpu.execute(
+      rd.finish, kReduceCyclesPerByte * static_cast<double>(size), 1);
+  // 8-byte result travels back.
+  const auto result = pgas.store({1, 0}, pgas.alloc(0, 0, 64), 8, exec.finish);
+  return Outcome{result.finish,
+                 mig.energy + rd.energy + exec.energy + result.energy,
+                 mig.bytes_moved + 8};
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header("EXP-C3-taskmove",
+                      "task migration beats data movement (claim C3)");
+
+  Table t({"data size", "move-data time", "move-task time", "time ratio",
+           "move-data energy", "move-task energy", "energy ratio",
+           "bytes moved (data)", "bytes moved (task)"});
+  for (const Bytes size :
+       {kibibytes(4), kibibytes(64), mebibytes(1), mebibytes(8),
+        mebibytes(64)}) {
+    const auto data = move_data(size);
+    const auto task = move_task(size);
+    t.add_row({fmt_bytes(static_cast<double>(size)),
+               fmt_time_ps(static_cast<double>(data.finish)),
+               fmt_time_ps(static_cast<double>(task.finish)),
+               fmt_ratio(static_cast<double>(data.finish) /
+                         static_cast<double>(task.finish)),
+               fmt_energy_pj(data.energy), fmt_energy_pj(task.energy),
+               fmt_ratio(data.energy / task.energy),
+               fmt_bytes(static_cast<double>(data.moved)),
+               fmt_bytes(static_cast<double>(task.moved))});
+  }
+  bench::print_table(
+      t,
+      "Reduction over a remote 2nd-node partition. move-task ships a 256 B\n"
+      "closure and an 8 B result; move-data ships the whole partition:");
+  return 0;
+}

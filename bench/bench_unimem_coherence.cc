@@ -1,0 +1,232 @@
+// EXP-C2-coherence — UNIMEM vs. global cache coherence (paper §2, §4.1).
+//
+// Claim C2: "a memory page can be cacheable at the local coherent node or
+// at a remote coherent node, but not at both … eliminates global-scope
+// cache coherence protocols providing a scalable solution", and "other
+// existing architectures either require a global cache coherent mechanism,
+// which simply cannot scale…".
+//
+// Workload: every worker repeatedly updates its own partition (node-local
+// in UNIMEM) and occasionally reads/writes a set of globally shared pages.
+// Baselines keep ALL caches in one coherence domain (snoop broadcast or
+// directory); UNIMEM keeps one small domain per node and routes remote
+// accesses to the owner uncached. The metric that decides scalability is
+// coherence messages per memory access.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "memory/coherence.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+namespace {
+
+constexpr std::size_t kWorkersPerNode = 4;
+constexpr int kAccessesPerWorker = 2000;
+constexpr double kSharedFraction = 0.10;  // 10% of accesses touch shared data
+
+struct AccessPattern {
+  std::size_t worker;
+  bool shared;
+  bool write;
+  std::uint64_t offset;  // within the worker's private or the shared region
+};
+
+std::vector<AccessPattern> make_pattern(std::size_t workers,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AccessPattern> out;
+  out.reserve(workers * kAccessesPerWorker);
+  for (int a = 0; a < kAccessesPerWorker; ++a) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      AccessPattern p;
+      p.worker = w;
+      p.shared = rng.chance(kSharedFraction);
+      p.write = rng.chance(0.3);
+      p.offset = rng.uniform_u64(16 * kKiB);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+/// Global-coherence baseline: one domain over all caches.
+double global_msgs_per_access(std::size_t workers, CoherenceMode mode,
+                              const std::vector<AccessPattern>& pattern) {
+  std::vector<std::unique_ptr<Cache>> caches;
+  std::vector<Cache*> ptrs;
+  for (std::size_t w = 0; w < workers; ++w) {
+    caches.push_back(std::make_unique<Cache>("c", CacheConfig{}));
+    ptrs.push_back(caches.back().get());
+  }
+  CoherenceDomain domain(ptrs, mode);
+  for (const auto& p : pattern) {
+    // Private regions are disjoint per worker; shared region is common.
+    const std::uint64_t addr =
+        p.shared ? (1ull << 40) + p.offset
+                 : (static_cast<std::uint64_t>(p.worker) << 30) + p.offset;
+    if (p.write) {
+      domain.write(p.worker, addr);
+    } else {
+      domain.read(p.worker, addr);
+    }
+  }
+  const auto& s = domain.stats();
+  return static_cast<double>(s.snoop_messages) /
+         static_cast<double>(s.reads + s.writes);
+}
+
+/// UNIMEM: per-node domains + remote (uncached) accesses to the shared
+/// region's owner node. Coherence messages = local-domain probes; remote
+/// accesses are plain network round trips, counted separately.
+struct UnimemResult {
+  double coherence_msgs_per_access = 0.0;
+  double remote_fraction = 0.0;
+};
+
+UnimemResult unimem_run(std::size_t workers,
+                        const std::vector<AccessPattern>& pattern) {
+  PgasConfig cfg;
+  cfg.workers_per_node = kWorkersPerNode;
+  cfg.nodes = workers / kWorkersPerNode;
+  PgasSystem pgas(cfg);
+  // Private allocations per worker + one shared region owned by node 0.
+  std::vector<GlobalAddress> priv;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto c = pgas.coord(w);
+    priv.push_back(pgas.alloc(c.node, c.worker, 32 * kKiB));
+  }
+  const auto shared = pgas.alloc(0, 0, 32 * kKiB);
+  SimTime now = 0;
+  for (const auto& p : pattern) {
+    const auto who = pgas.coord(p.worker);
+    const GlobalAddress addr =
+        p.shared ? shared + p.offset : priv[p.worker] + p.offset;
+    const auto r = p.write ? pgas.store(who, addr, 8, now)
+                           : pgas.load(who, addr, 8, now);
+    now = std::max(now, r.finish);
+  }
+  std::uint64_t probes = 0;
+  for (std::size_t n = 0; n < cfg.nodes; ++n) {
+    probes += pgas.node_domain(static_cast<NodeId>(n)).stats().snoop_messages;
+  }
+  UnimemResult r;
+  const double total = static_cast<double>(pattern.size());
+  r.coherence_msgs_per_access = static_cast<double>(probes) / total;
+  r.remote_fraction =
+      static_cast<double>(pgas.remote_accesses()) / total;
+  return r;
+}
+
+/// Timed comparison: total completion time of the access stream under
+/// UNIMEM vs. a machine-wide snoop domain (each probe pays wire latency).
+struct TimedResult {
+  SimTime finish = 0;
+  Picojoules energy = 0.0;
+};
+
+TimedResult timed_run(std::size_t workers, CoherenceScope scope,
+                      const std::vector<AccessPattern>& pattern) {
+  PgasConfig cfg;
+  cfg.workers_per_node = kWorkersPerNode;
+  cfg.nodes = workers / kWorkersPerNode;
+  cfg.scope = scope;
+  PgasSystem pgas(cfg);
+  std::vector<GlobalAddress> priv;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto c = pgas.coord(w);
+    priv.push_back(pgas.alloc(c.node, c.worker, 32 * kKiB));
+  }
+  // Shared region partitioned across the nodes (PGAS-style layout, the
+  // discipline the paper's §2 data-partitioning assumes) — no single home
+  // hotspot.
+  std::vector<GlobalAddress> shared_chunks;
+  for (std::size_t n = 0; n < cfg.nodes; ++n) {
+    shared_chunks.push_back(
+        pgas.alloc(static_cast<NodeId>(n),
+                   static_cast<WorkerId>(n % kWorkersPerNode), 32 * kKiB));
+  }
+  auto shared_addr = [&](std::uint64_t offset) {
+    const std::size_t chunk = (offset / 512) % shared_chunks.size();
+    return shared_chunks[chunk] + offset % (32 * kKiB);
+  };
+  // Per-worker logical clocks: each worker issues its stream serially and
+  // the streams interleave in global time order (so shared-resource
+  // reservations happen chronologically).
+  std::vector<std::vector<const AccessPattern*>> streams(workers);
+  for (const auto& p : pattern) streams[p.worker].push_back(&p);
+  std::vector<std::size_t> next(workers, 0);
+  std::vector<SimTime> clock(workers, 0);
+  for (;;) {
+    std::size_t w = workers;
+    for (std::size_t i = 0; i < workers; ++i) {
+      if (next[i] < streams[i].size() && (w == workers || clock[i] < clock[w])) {
+        w = i;
+      }
+    }
+    if (w == workers) break;
+    const AccessPattern& p = *streams[w][next[w]++];
+    const auto who = pgas.coord(p.worker);
+    const GlobalAddress addr =
+        p.shared ? shared_addr(p.offset) : priv[p.worker] + p.offset;
+    const auto r = p.write ? pgas.store(who, addr, 8, clock[w])
+                           : pgas.load(who, addr, 8, clock[w]);
+    clock[w] = r.finish;
+  }
+  TimedResult out;
+  for (const auto t : clock) out.finish = std::max(out.finish, t);
+  out.energy = pgas.energy().total();
+  return out;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header("EXP-C2-coherence",
+                      "UNIMEM eliminates global coherence traffic (claim C2)");
+
+  Table t({"caches", "snoop bcast msgs/access", "directory msgs/access",
+           "UNIMEM msgs/access", "UNIMEM remote frac"});
+  for (const std::size_t workers : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto pattern = make_pattern(workers, 0xC0FFEE);
+    const double bcast = global_msgs_per_access(
+        workers, CoherenceMode::kSnoopBroadcast, pattern);
+    const double dir =
+        global_msgs_per_access(workers, CoherenceMode::kDirectory, pattern);
+    const auto unimem = unimem_run(workers, pattern);
+    t.add_row({fmt_u64(workers), fmt_fixed(bcast, 2), fmt_fixed(dir, 3),
+               fmt_fixed(unimem.coherence_msgs_per_access, 3),
+               fmt_pct(unimem.remote_fraction)});
+  }
+  bench::print_table(
+      t,
+      "Coherence messages per access (10% shared working set, 30% writes).\n"
+      "Broadcast grows linearly with machine size; UNIMEM stays bounded by\n"
+      "the node-local domain (4 caches) at any scale:");
+
+  Table timed({"caches", "global-snoop time", "UNIMEM time", "speedup",
+               "global energy", "UNIMEM energy"});
+  for (const std::size_t workers : {4u, 16u, 64u}) {
+    const auto pattern = make_pattern(workers, 0xC0FFEE);
+    const auto global = timed_run(workers, CoherenceScope::kGlobal, pattern);
+    const auto unimem = timed_run(workers, CoherenceScope::kUnimem, pattern);
+    timed.add_row({fmt_u64(workers),
+                   fmt_time_ps(static_cast<double>(global.finish)),
+                   fmt_time_ps(static_cast<double>(unimem.finish)),
+                   fmt_ratio(static_cast<double>(global.finish) /
+                             static_cast<double>(unimem.finish)),
+                   fmt_energy_pj(global.energy),
+                   fmt_energy_pj(unimem.energy)});
+  }
+  bench::print_table(
+      timed,
+      "Same access stream, timed end to end: machine-wide snoop coherence\n"
+      "(every miss probes every cache across the wire) vs. UNIMEM. The gap\n"
+      "widens with machine size — the 'simply cannot scale' claim:");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace ecoscale::bench {
+
+inline void print_header(const std::string& exp_id,
+                         const std::string& claim) {
+  std::cout << "\n=== " << exp_id << " — " << claim << " ===\n\n";
+}
+
+inline void print_table(const Table& table, const std::string& caption = "") {
+  if (!caption.empty()) std::cout << caption << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace ecoscale::bench

@@ -1,0 +1,104 @@
+// EXP-C6-virt — fine-grain pipelined sharing of one hardware function
+// (paper §4.1: "a function implemented in hardware can be 'called' by
+// different tasks or threads of an HPC application in parallel, through the
+// Virtualization block … execute multiple function calls (from different
+// virtual machines) in a fully pipelined fashion").
+//
+// N concurrent callers each issue a call of fixed size against one
+// accelerator. Exclusive locking serialises whole calls; the Virtualization
+// block interleaves them at item granularity.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "hls/dse.h"
+#include "worker/virtualization.h"
+
+namespace ecoscale {
+namespace {
+
+struct ShareOutcome {
+  double throughput_mitems_s = 0.0;
+  double p95_latency_us = 0.0;
+  double mean_latency_us = 0.0;
+};
+
+ShareOutcome run(SharingMode mode, std::size_t callers,
+                 std::uint64_t items_per_call) {
+  auto module = emit_variants(make_montecarlo_kernel(), 1).front();
+  // Fine-grain regime: short calls against a deep pipeline — the case the
+  // Virtualization block exists for (many threads, small work quanta).
+  module.pipeline_depth = 128;
+  VirtualizationBlock vb("vb", module, mode);
+  Samples latency_us;
+  SimTime last = 0;
+  // All callers arrive together (worst-case burst).
+  for (std::size_t c = 0; c < callers; ++c) {
+    const auto call = vb.call(static_cast<std::uint32_t>(c),
+                              items_per_call, 0);
+    latency_us.add(to_microseconds(call.finish));
+    last = std::max(last, call.finish);
+  }
+  ShareOutcome out;
+  const double total_items =
+      static_cast<double>(callers * items_per_call);
+  out.throughput_mitems_s = total_items / to_seconds(last) / 1e6;
+  out.p95_latency_us = latency_us.percentile(95);
+  out.mean_latency_us = latency_us.mean();
+  return out;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main() {
+  using namespace ecoscale;
+  bench::print_header(
+      "EXP-C6-virt",
+      "fully pipelined multi-caller execution via the Virtualization block "
+      "(claim C6)");
+
+  constexpr std::uint64_t kItems = 64;
+  Table t({"callers", "exclusive Mitems/s", "pipelined Mitems/s",
+           "exclusive p95", "pipelined p95", "p95 gain"});
+  for (const std::size_t callers : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto ex = run(SharingMode::kExclusive, callers, kItems);
+    const auto pl = run(SharingMode::kPipelined, callers, kItems);
+    t.add_row({fmt_u64(callers), fmt_fixed(ex.throughput_mitems_s, 1),
+               fmt_fixed(pl.throughput_mitems_s, 1),
+               fmt_fixed(ex.p95_latency_us, 1) + " us",
+               fmt_fixed(pl.p95_latency_us, 1) + " us",
+               fmt_ratio(ex.p95_latency_us / pl.p95_latency_us)});
+  }
+  bench::print_table(
+      t,
+      "One shared HW function (depth-128 pipeline), burst of N calls of\n"
+      "64 items each.\n"
+      "Pipelined sharing holds throughput flat and cuts tail latency by\n"
+      "eliminating whole-call serialisation (the gain is the drained\n"
+      "pipeline-depth bubble per call):");
+
+  // Sensitivity: deeper pipelines make exclusive sharing worse.
+  Table depth({"pipeline depth", "exclusive p95 (us)", "pipelined p95 (us)"});
+  for (const std::uint32_t d : {8u, 32u, 128u, 512u}) {
+    auto module = emit_variants(make_montecarlo_kernel(), 1).front();
+    module.pipeline_depth = d;
+    VirtualizationBlock ex("e", module, SharingMode::kExclusive);
+    VirtualizationBlock pl("p", module, SharingMode::kPipelined);
+    Samples e_lat, p_lat;
+    for (std::size_t c = 0; c < 16; ++c) {
+      e_lat.add(to_microseconds(
+          ex.call(static_cast<std::uint32_t>(c), 512, 0).finish));
+      p_lat.add(to_microseconds(
+          pl.call(static_cast<std::uint32_t>(c), 512, 0).finish));
+    }
+    depth.add_row({fmt_u64(d), fmt_fixed(e_lat.percentile(95), 1),
+                   fmt_fixed(p_lat.percentile(95), 1)});
+  }
+  bench::print_table(depth,
+                     "Tail latency vs. pipeline depth (16 callers × 512 "
+                     "items):");
+  return 0;
+}

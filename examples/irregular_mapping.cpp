@@ -1,0 +1,55 @@
+// Irregular-application mapping — the PGAS-motivated case of §2 ("the
+// PGAS programming model is an attractive alternative for designing
+// applications with irregular communication patterns") plus §4.4's MPI-3
+// topology abstractions.
+//
+// An irregular communication graph (a sparse-matrix-style neighbourhood)
+// is mapped onto a machine of 8-worker Compute Nodes three ways; the
+// greedy hierarchical reorder pulls heavy edges inside nodes, where they
+// become UNIMEM stores instead of MPI messages.
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.h"
+#include "mpi/graph_topology.h"
+
+using namespace ecoscale;
+
+int main() {
+  constexpr std::size_t kRanks = 64;
+  constexpr std::size_t kRanksPerNode = 8;
+  const auto graph = make_irregular_graph(kRanks, 4, 0xFEED);
+  std::printf("irregular graph: %zu ranks, %zu directed edges\n",
+              graph.size(), graph.edge_count());
+
+  std::vector<std::size_t> identity(kRanks);
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<std::size_t> scrambled = identity;
+  Rng rng(1);
+  rng.shuffle(scrambled);
+  const auto reordered = graph.reorder(kRanksPerNode);
+
+  struct Row {
+    const char* name;
+    const std::vector<std::size_t>* perm;
+  };
+  std::printf("%-16s %14s %16s %14s\n", "placement", "mapping cost",
+              "inter-node msgs", "exchange");
+  for (const Row row : {Row{"scrambled", &scrambled},
+                        Row{"natural", &identity},
+                        Row{"hier. reorder", &reordered}}) {
+    MpiWorld world(kRanks);
+    std::vector<SimTime> arrivals(kRanks, 0);
+    const auto coll = neighbor_alltoall(world, graph, kibibytes(8),
+                                        arrivals, *row.perm, kRanksPerNode);
+    std::printf("%-16s %14.0f %16llu %11.1f us\n", row.name,
+                graph.mapping_cost(*row.perm, kRanksPerNode),
+                static_cast<unsigned long long>(coll.messages),
+                to_microseconds(coll.finish));
+  }
+  std::printf(
+      "\nThe reorder is the programming-model contract of Figure 1: the\n"
+      "application expresses its topology (MPI-3 graph comm); the runtime\n"
+      "maps heavy edges into PGAS partitions.\n");
+  return 0;
+}

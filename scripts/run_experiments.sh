@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md and capture the outputs at
+# the repository root (test_output.txt / bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in build/examples/*; do
+  echo "--- $(basename "$e")"
+  "$e" || echo "(exited $?)"
+done

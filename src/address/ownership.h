@@ -1,0 +1,62 @@
+// UNIMEM page-ownership directory.
+//
+// The UNIMEM consistency model (paper §2): from the point of view of any
+// processor, a memory page is cacheable at its *owning* node and nowhere
+// else. There is therefore no global snoop — a remote access is routed to
+// the owner and served from the owner's coherent domain. Ownership can move
+// (page migration), which is the only global coherence action that exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "address/address.h"
+#include "common/check.h"
+
+namespace ecoscale {
+
+class OwnershipDirectory {
+ public:
+  /// Register a page with its home (initial owner) node.
+  void register_page(PageId page, NodeId owner) {
+    ECO_CHECK_MSG(!owners_.contains(page), "page registered twice");
+    owners_[page] = owner;
+  }
+
+  bool is_registered(PageId page) const { return owners_.contains(page); }
+
+  std::optional<NodeId> owner(PageId page) const {
+    auto it = owners_.find(page);
+    if (it == owners_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// A page may be cached only at its owning node (UNIMEM invariant).
+  bool cacheable_at(PageId page, NodeId node) const {
+    auto it = owners_.find(page);
+    return it != owners_.end() && it->second == node;
+  }
+
+  /// Migrate ownership. Returns the previous owner. The caller is
+  /// responsible for charging the flush-and-transfer cost.
+  NodeId migrate(PageId page, NodeId new_owner) {
+    auto it = owners_.find(page);
+    ECO_CHECK_MSG(it != owners_.end(), "migrating unregistered page");
+    const NodeId prev = it->second;
+    if (prev != new_owner) {
+      it->second = new_owner;
+      ++migrations_;
+    }
+    return prev;
+  }
+
+  std::uint64_t migrations() const { return migrations_; }
+  std::size_t page_count() const { return owners_.size(); }
+
+ private:
+  std::unordered_map<PageId, NodeId> owners_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace ecoscale

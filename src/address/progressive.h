@@ -1,0 +1,66 @@
+// Progressive address translation (Katevenis [12]).
+//
+// Interprocessor communication is treated as a generalisation of load/store:
+// a global address is translated *progressively* as the access travels up
+// the interconnect hierarchy — each level resolves only the bits it needs to
+// route, and the final worker-local bits are translated at the destination.
+// The practical consequence modelled here: a remote access needs no central
+// translation agent, only one small table per hierarchy level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "address/address.h"
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+struct TranslationStep {
+  int level = 0;               // 0 = worker-local, increasing upward
+  SimDuration latency = 0;     // table lookup at this level
+};
+
+struct ProgressiveResult {
+  std::vector<TranslationStep> steps;
+  SimDuration total_latency = 0;
+};
+
+class ProgressiveTranslator {
+ public:
+  /// `level_latencies[i]` is the lookup latency of the level-i table.
+  explicit ProgressiveTranslator(std::vector<SimDuration> level_latencies)
+      : level_latencies_(std::move(level_latencies)) {
+    ECO_CHECK(!level_latencies_.empty());
+  }
+
+  /// Translate an access from `src` to `dst`: the access climbs levels until
+  /// the common ancestor of source and destination resolves the route, then
+  /// descends. Only the traversed levels pay a lookup.
+  ProgressiveResult translate(WorkerCoord src, WorkerCoord dst) const {
+    ProgressiveResult r;
+    int highest;
+    if (src == dst) {
+      highest = 0;                       // local: stage-0 table only
+    } else if (src.node == dst.node) {
+      highest = 1;                       // intra-node: worker-level table
+    } else {
+      highest = static_cast<int>(level_latencies_.size()) - 1;  // global
+    }
+    for (int level = 0; level <= highest; ++level) {
+      const SimDuration lat =
+          level_latencies_[static_cast<std::size_t>(level)];
+      r.steps.push_back(TranslationStep{level, lat});
+      r.total_latency += lat;
+    }
+    return r;
+  }
+
+  std::size_t levels() const { return level_latencies_.size(); }
+
+ private:
+  std::vector<SimDuration> level_latencies_;
+};
+
+}  // namespace ecoscale

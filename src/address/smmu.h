@@ -1,0 +1,170 @@
+// Dual-stage System MMU model (ARM SMMU-style).
+//
+// ECOSCALE claim C5: reconfigurable accelerators are mapped into the
+// *virtual* address space through a dual-stage I/O MMU, so an unprivileged
+// task can invoke an accelerator without trapping into the OS or hypervisor.
+//
+// Stage 1 translates a task's virtual address to an intermediate physical
+// address (IPA); stage 2 translates IPA to physical. On a TLB miss the
+// walker performs a nested walk: each of the S1 levels' descriptors is
+// itself an IPA that needs an S2 walk, giving the classic
+// (s1_levels + 1) * (s2_levels + 1) - 1 memory accesses.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "address/address.h"
+#include "address/page_table.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+using ContextId = std::uint32_t;  // stream/context: one per task or VM
+
+struct Translation {
+  PageId phys_page = 0;
+  SimDuration latency = 0;
+  bool tlb_hit = false;
+};
+
+struct SmmuConfig {
+  std::size_t tlb_entries = 64;
+  int stage1_levels = 4;
+  int stage2_levels = 3;
+  SimDuration walk_access_latency = nanoseconds(60);  // one PTE fetch (DRAM)
+  SimDuration tlb_hit_latency = nanoseconds(1);
+  Picojoules walk_access_energy = 15.0;  // pJ per PTE fetch
+  Picojoules tlb_lookup_energy = 0.5;
+};
+
+/// Dual-stage SMMU with a fully associative LRU TLB caching the combined
+/// VA→PA translation per context.
+class Smmu {
+ public:
+  explicit Smmu(SmmuConfig config = {})
+      : config_(config), stage2_(config.stage2_levels) {
+    ECO_CHECK(config_.tlb_entries > 0);
+  }
+
+  /// Create (or fetch) the stage-1 table of a context.
+  PageTable& stage1(ContextId ctx) {
+    return stage1_.try_emplace(ctx, PageTable(config_.stage1_levels))
+        .first->second;
+  }
+
+  PageTable& stage2() { return stage2_; }
+
+  /// Translate a virtual page for a context. Returns nullopt on a
+  /// translation fault (unmapped page at either stage).
+  std::optional<Translation> translate(ContextId ctx, PageId virt_page) {
+    ++lookups_;
+    energy_ += config_.tlb_lookup_energy;
+    const TlbKey key{ctx, virt_page};
+    if (auto it = tlb_.find(key); it != tlb_.end()) {
+      ++hits_;
+      touch(it->second);
+      return Translation{it->second->phys_page, config_.tlb_hit_latency,
+                         true};
+    }
+    // Nested walk.
+    auto s1 = stage1_.find(ctx);
+    if (s1 == stage1_.end()) return std::nullopt;
+    const auto ipa = s1->second.lookup(virt_page);
+    if (!ipa) return std::nullopt;
+    const auto pa = stage2_.lookup(*ipa);
+    if (!pa) return std::nullopt;
+    const int accesses = (s1->second.levels() + 1) * (stage2_.levels() + 1) - 1;
+    ++walks_;
+    walk_accesses_ += static_cast<std::uint64_t>(accesses);
+    energy_ += config_.walk_access_energy * accesses;
+    const SimDuration latency =
+        config_.tlb_hit_latency +
+        config_.walk_access_latency * static_cast<SimDuration>(accesses);
+    insert(key, *pa);
+    return Translation{*pa, latency, false};
+  }
+
+  /// Invalidate all TLB entries of a context (e.g. on task migration).
+  void invalidate(ContextId ctx) {
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.ctx == ctx) {
+        tlb_.erase(it->key);
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double hit_rate() const {
+    return lookups_ ? static_cast<double>(hits_) / static_cast<double>(lookups_)
+                    : 0.0;
+  }
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t walks() const { return walks_; }
+  std::uint64_t walk_accesses() const { return walk_accesses_; }
+  Picojoules energy() const { return energy_; }
+  const SmmuConfig& config() const { return config_; }
+
+ private:
+  struct TlbKey {
+    ContextId ctx;
+    PageId page;
+    bool operator==(const TlbKey&) const = default;
+  };
+  struct TlbKeyHash {
+    std::size_t operator()(const TlbKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.ctx) << 52) ^ k.page);
+    }
+  };
+  struct TlbEntry {
+    TlbKey key;
+    PageId phys_page;
+  };
+  using LruList = std::list<TlbEntry>;
+
+  void touch(LruList::iterator it) { lru_.splice(lru_.begin(), lru_, it); }
+
+  void insert(const TlbKey& key, PageId pa) {
+    if (tlb_.size() >= config_.tlb_entries) {
+      tlb_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+    lru_.push_front(TlbEntry{key, pa});
+    tlb_[key] = lru_.begin();
+  }
+
+  SmmuConfig config_;
+  std::unordered_map<ContextId, PageTable> stage1_;
+  PageTable stage2_;
+  LruList lru_;
+  std::unordered_map<TlbKey, LruList::iterator, TlbKeyHash> tlb_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t walks_ = 0;
+  std::uint64_t walk_accesses_ = 0;
+  Picojoules energy_ = 0.0;
+};
+
+/// Cost model for the two accelerator-invocation paths the paper contrasts.
+struct InvocationPathCosts {
+  // OS-mediated: user→kernel trap, argument marshalling, kernel driver
+  // programs the accelerator with physical addresses, return trap.
+  SimDuration os_trap = nanoseconds(1500);
+  SimDuration os_return = nanoseconds(1000);
+  SimDuration driver_setup = nanoseconds(800);
+
+  // User-level: write the doorbell through the mapped MMIO page; each
+  // accelerator-side pointer dereference goes through the SMMU.
+  SimDuration doorbell_write = nanoseconds(40);
+};
+
+}  // namespace ecoscale

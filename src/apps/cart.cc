@@ -1,0 +1,161 @@
+#include "apps/cart.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecoscale::apps {
+
+Dataset make_blobs(std::size_t rows, std::size_t features, int classes,
+                   std::uint64_t seed) {
+  ECO_CHECK(rows > 0 && features > 0 && classes >= 2);
+  Rng rng(seed);
+  Dataset d;
+  d.features = features;
+  d.classes = classes;
+  d.rows.reserve(rows);
+  d.labels.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(classes)));
+    std::vector<double> row(features);
+    for (std::size_t f = 0; f < features; ++f) {
+      // Classes are separated along every other feature; the rest is noise.
+      const double center =
+          (f % 2 == 0) ? 3.0 * static_cast<double>(label) : 0.0;
+      row[f] = rng.normal(center, 1.0);
+    }
+    d.rows.push_back(std::move(row));
+    d.labels.push_back(label);
+  }
+  return d;
+}
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+Split best_split(const Dataset& data, const std::vector<std::size_t>& rows) {
+  Split best;
+  if (rows.size() < 2) return best;
+  const auto k = static_cast<std::size_t>(data.classes);
+  for (std::size_t f = 0; f < data.features; ++f) {
+    // Sort row indices by feature value; sweep thresholds between
+    // consecutive distinct values maintaining left/right class counts.
+    std::vector<std::size_t> order = rows;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.rows[a][f] < data.rows[b][f];
+              });
+    std::vector<std::size_t> left(k, 0);
+    std::vector<std::size_t> right(k, 0);
+    for (const std::size_t r : order) {
+      ++right[static_cast<std::size_t>(data.labels[r])];
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const std::size_t r = order[i];
+      const auto label = static_cast<std::size_t>(data.labels[r]);
+      ++left[label];
+      --right[label];
+      const double v = data.rows[r][f];
+      const double next = data.rows[order[i + 1]][f];
+      if (v == next) continue;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = order.size() - nl;
+      const double weighted =
+          (static_cast<double>(nl) * gini(left, nl) +
+           static_cast<double>(nr) * gini(right, nr)) /
+          static_cast<double>(order.size());
+      if (weighted < best.gini) {
+        best.feature = f;
+        best.threshold = 0.5 * (v + next);
+        best.gini = weighted;
+        best.valid = true;
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+int majority_label(const Dataset& data, const std::vector<std::size_t>& rows,
+                   int classes) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(classes), 0);
+  for (const std::size_t r : rows) {
+    ++counts[static_cast<std::size_t>(data.labels[r])];
+  }
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+std::unique_ptr<TreeNode> build_node(const Dataset& data,
+                                     const std::vector<std::size_t>& rows,
+                                     const CartConfig& config,
+                                     std::size_t depth) {
+  auto node = std::make_unique<TreeNode>();
+  node->label = majority_label(data, rows, data.classes);
+  if (depth >= config.max_depth || rows.size() < config.min_rows) {
+    return node;
+  }
+  const Split split = best_split(data, rows);
+  if (!split.valid) return node;
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (const std::size_t r : rows) {
+    if (data.rows[r][split.feature] <= split.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return node;
+  node->leaf = false;
+  node->split = split;
+  node->left = build_node(data, left_rows, config, depth + 1);
+  node->right = build_node(data, right_rows, config, depth + 1);
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<TreeNode> build_tree(const Dataset& data,
+                                     const CartConfig& config) {
+  ECO_CHECK(data.size() > 0);
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  return build_node(data, rows, config, 0);
+}
+
+int predict(const TreeNode& tree, const std::vector<double>& row) {
+  const TreeNode* node = &tree;
+  while (!node->leaf) {
+    node = (row[node->split.feature] <= node->split.threshold)
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node->label;
+}
+
+double accuracy(const TreeNode& tree, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(tree, data.rows[i]) == data.labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace ecoscale::apps

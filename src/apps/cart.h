@@ -1,0 +1,60 @@
+// CART decision-tree classification — the Convey HC-1 data-mining workload
+// the paper cites ([17]: HC-CART). Gini-impurity split search is the
+// accelerated hot loop; tree induction and prediction complete the
+// application.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ecoscale::apps {
+
+struct Dataset {
+  std::size_t features = 0;
+  std::vector<std::vector<double>> rows;  // rows × features
+  std::vector<int> labels;                // class per row (0-based)
+  int classes = 2;
+
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Deterministic synthetic classification data: two Gaussian blobs per
+/// class with axis-aligned separability on a subset of features.
+Dataset make_blobs(std::size_t rows, std::size_t features, int classes,
+                   std::uint64_t seed);
+
+struct Split {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gini = 1.0;  // impurity after the split (weighted)
+  bool valid = false;
+};
+
+/// Exhaustive best-gini split over all features/thresholds — the kernel
+/// HC-CART puts in hardware.
+Split best_split(const Dataset& data, const std::vector<std::size_t>& rows);
+
+struct TreeNode {
+  bool leaf = true;
+  int label = 0;
+  Split split;
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+};
+
+struct CartConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_rows = 4;
+};
+
+std::unique_ptr<TreeNode> build_tree(const Dataset& data,
+                                     const CartConfig& config = {});
+
+int predict(const TreeNode& tree, const std::vector<double>& row);
+
+/// Fraction of correctly classified rows.
+double accuracy(const TreeNode& tree, const Dataset& data);
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,81 @@
+#include "apps/fft.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecoscale::apps {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  ECO_CHECK_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi /
+                         static_cast<double>(len);
+    const Complex wn(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> dft(const std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      sum += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<double> fft_convolve(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  std::size_t n = 1;
+  while (n < a.size() + b.size() - 1) n <<= 1;
+  std::vector<Complex> fa(n, Complex(0, 0));
+  std::vector<Complex> fb(n, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa);
+  fft(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, /*inverse=*/true);
+  std::vector<double> out(a.size() + b.size() - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,27 @@
+// Iterative radix-2 FFT — a butterfly-structured kernel with the strided
+// access patterns that stress both the HLS memory partitioning and the
+// hierarchical communication model (a distributed FFT's transpose is the
+// classic all-to-all).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ecoscale::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 decimation-in-time FFT. Size must be a
+/// power of two.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// Direct O(n^2) DFT, the validation reference.
+std::vector<Complex> dft(const std::vector<Complex>& data);
+
+/// Convolution via FFT (round-trip + pointwise product), exercising
+/// forward, inverse and scaling together.
+std::vector<double> fft_convolve(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,127 @@
+#include "apps/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecoscale::apps {
+
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> make_clustered_points(std::size_t points,
+                                                       std::size_t dims,
+                                                       std::size_t clusters,
+                                                       std::uint64_t seed) {
+  ECO_CHECK(points > 0 && dims > 0 && clusters > 0);
+  Rng rng(seed);
+  // Well-separated centres on a coarse lattice.
+  std::vector<std::vector<double>> centres(clusters,
+                                           std::vector<double>(dims));
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centres[c][d] = 10.0 * static_cast<double>(rng.uniform_int(-5, 5));
+    }
+  }
+  std::vector<std::vector<double>> out;
+  out.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const std::size_t c = rng.uniform_u64(clusters);
+    std::vector<double> point(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      point[d] = centres[c][d] + rng.normal(0.0, 1.0);
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+KmeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::size_t max_iters,
+                    std::uint64_t seed) {
+  ECO_CHECK(!points.empty());
+  ECO_CHECK(k >= 1 && k <= points.size());
+  const std::size_t dims = points.front().size();
+  Rng rng(seed);
+
+  KmeansResult r;
+  // Farthest-point seeding: first centroid random, each next centroid the
+  // point farthest from all chosen so far (deterministic, robust).
+  r.centroids.push_back(points[rng.uniform_u64(points.size())]);
+  while (r.centroids.size() < k) {
+    std::size_t best = 0;
+    double best_dist = -1.0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const auto& c : r.centroids) {
+        nearest = std::min(nearest, sq_dist(points[p], c));
+      }
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best = p;
+      }
+    }
+    r.centroids.push_back(points[best]);
+  }
+
+  r.assignment.assign(points.size(), -1);
+  for (r.iterations = 0; r.iterations < max_iters; ++r.iterations) {
+    // Assignment step (the HW-offloadable distance kernel).
+    bool changed = false;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_dist(points[p], r.centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (r.assignment[p] != best) {
+        r.assignment[p] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      ++r.iterations;
+      break;
+    }
+    // Update step (small, sequential).
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const auto c = static_cast<std::size_t>(r.assignment[p]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[p][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dims; ++d) {
+        r.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  r.inertia = 0.0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    r.inertia +=
+        sq_dist(points[p],
+                r.centroids[static_cast<std::size_t>(r.assignment[p])]);
+  }
+  return r;
+}
+
+}  // namespace ecoscale::apps

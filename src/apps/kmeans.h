@@ -1,0 +1,34 @@
+// Lloyd's k-means — the second data-mining workload class (alongside CART)
+// of the Convey/Maxeler-style systems the paper cites: a distance kernel
+// that is embarrassingly parallel per point (HW-friendly) around a small
+// sequential update step (CPU-friendly), i.e. exactly the split the
+// runtime's HW/SW partitioning is for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecoscale::apps {
+
+struct KmeansResult {
+  std::vector<std::vector<double>> centroids;  // k × dims
+  std::vector<int> assignment;                 // per point
+  std::size_t iterations = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+};
+
+/// Deterministic synthetic clustered data: k Gaussian blobs.
+std::vector<std::vector<double>> make_clustered_points(std::size_t points,
+                                                       std::size_t dims,
+                                                       std::size_t clusters,
+                                                       std::uint64_t seed);
+
+/// Lloyd's algorithm with k-means++-style farthest-point seeding
+/// (deterministic given the seed). Stops when assignments are stable or
+/// `max_iters` is reached.
+KmeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::size_t max_iters,
+                    std::uint64_t seed);
+
+}  // namespace ecoscale::apps

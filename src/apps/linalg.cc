@@ -1,0 +1,92 @@
+#include "apps/linalg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecoscale::apps {
+
+void matmul(const std::vector<double>& a, const std::vector<double>& b,
+            std::vector<double>& c, std::size_t m, std::size_t k,
+            std::size_t n) {
+  ECO_CHECK(a.size() == m * k && b.size() == k * n);
+  c.assign(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a[i * k + p];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[p * n + j];
+      }
+    }
+  }
+}
+
+void matmul_blocked(const std::vector<double>& a, const std::vector<double>& b,
+                    std::vector<double>& c, std::size_t m, std::size_t k,
+                    std::size_t n, std::size_t block) {
+  ECO_CHECK(a.size() == m * k && b.size() == k * n);
+  ECO_CHECK(block >= 1);
+  c.assign(m * n, 0.0);
+  for (std::size_t ii = 0; ii < m; ii += block) {
+    for (std::size_t pp = 0; pp < k; pp += block) {
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        const std::size_t ie = std::min(ii + block, m);
+        const std::size_t pe = std::min(pp + block, k);
+        const std::size_t je = std::min(jj + block, n);
+        for (std::size_t i = ii; i < ie; ++i) {
+          for (std::size_t p = pp; p < pe; ++p) {
+            const double av = a[i * k + p];
+            for (std::size_t j = jj; j < je; ++j) {
+              c[i * n + j] += av * b[p * n + j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+CsrMatrix make_sparse(std::size_t rows, std::size_t cols,
+                      std::size_t nnz_per_row, std::uint64_t seed) {
+  ECO_CHECK(rows > 0 && cols > 0 && nnz_per_row > 0);
+  Rng rng(seed);
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Distinct sorted column indices per row.
+    std::vector<std::size_t> cols_in_row;
+    const std::size_t target = std::min(nnz_per_row, cols);
+    while (cols_in_row.size() < target) {
+      const auto c = static_cast<std::size_t>(rng.uniform_u64(cols));
+      if (std::find(cols_in_row.begin(), cols_in_row.end(), c) ==
+          cols_in_row.end()) {
+        cols_in_row.push_back(c);
+      }
+    }
+    std::sort(cols_in_row.begin(), cols_in_row.end());
+    for (const std::size_t c : cols_in_row) {
+      m.col_idx.push_back(c);
+      m.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+std::vector<double> spmv(const CsrMatrix& a, const std::vector<double>& x) {
+  ECO_CHECK(x.size() == a.cols);
+  std::vector<double> y(a.rows, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      sum += a.values[i] * x[a.col_idx[i]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,39 @@
+// Dense and sparse linear-algebra kernels used by examples and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecoscale::apps {
+
+/// Row-major dense matrix multiply: C (m×n) = A (m×k) · B (k×n).
+void matmul(const std::vector<double>& a, const std::vector<double>& b,
+            std::vector<double>& c, std::size_t m, std::size_t k,
+            std::size_t n);
+
+/// Blocked variant with `block` × `block` tiles (same result, the access
+/// pattern the HLS tile kernel models).
+void matmul_blocked(const std::vector<double>& a, const std::vector<double>& b,
+                    std::vector<double>& c, std::size_t m, std::size_t k,
+                    std::size_t n, std::size_t block);
+
+/// CSR sparse matrix.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_ptr;  // rows + 1
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+
+  std::size_t nnz() const { return values.size(); }
+};
+
+/// Deterministic random sparse matrix with ~`nnz_per_row` entries per row.
+CsrMatrix make_sparse(std::size_t rows, std::size_t cols,
+                      std::size_t nnz_per_row, std::uint64_t seed);
+
+/// y = A·x.
+std::vector<double> spmv(const CsrMatrix& a, const std::vector<double>& x);
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,89 @@
+#include "apps/sort.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecoscale::apps {
+
+std::vector<std::uint64_t> make_keys(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(count);
+  for (auto& k : keys) k = rng();
+  return keys;
+}
+
+std::vector<std::uint64_t> choose_splitters(
+    const std::vector<std::vector<std::uint64_t>>& per_rank_keys,
+    std::size_t buckets) {
+  ECO_CHECK(buckets >= 1);
+  // Regular sampling: each rank contributes `buckets` evenly spaced local
+  // samples; the sorted sample set yields the global splitters.
+  std::vector<std::uint64_t> samples;
+  for (const auto& keys : per_rank_keys) {
+    if (keys.empty()) continue;
+    std::vector<std::uint64_t> local = keys;
+    std::sort(local.begin(), local.end());
+    for (std::size_t i = 0; i < buckets; ++i) {
+      samples.push_back(local[i * local.size() / buckets]);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::uint64_t> splitters;
+  if (samples.empty()) return splitters;  // no keys anywhere: one bucket
+  for (std::size_t b = 1; b < buckets; ++b) {
+    splitters.push_back(samples[b * samples.size() / buckets]);
+  }
+  return splitters;
+}
+
+std::vector<std::vector<std::uint64_t>> partition_keys(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::uint64_t>& splitters) {
+  std::vector<std::vector<std::uint64_t>> buckets(splitters.size() + 1);
+  for (const std::uint64_t k : keys) {
+    // Keys equal to a splitter belong to the left bucket.
+    const auto it =
+        std::lower_bound(splitters.begin(), splitters.end(), k);
+    buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(k);
+  }
+  return buckets;
+}
+
+SampleSortTrace sample_sort(const std::vector<std::uint64_t>& keys,
+                            std::size_t ranks) {
+  ECO_CHECK(ranks >= 1);
+  SampleSortTrace trace;
+  if (keys.empty()) return trace;
+  // 1. Scatter keys block-wise over ranks.
+  std::vector<std::vector<std::uint64_t>> local(ranks);
+  const std::size_t chunk = (keys.size() + ranks - 1) / ranks;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::size_t lo = std::min(r * chunk, keys.size());
+    const std::size_t hi = std::min(lo + chunk, keys.size());
+    local[r].assign(keys.begin() + static_cast<std::ptrdiff_t>(lo),
+                    keys.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  // 2. Splitter selection and all-to-all redistribution.
+  const auto splitters = choose_splitters(local, ranks);
+  std::vector<std::vector<std::uint64_t>> incoming(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    auto buckets = partition_keys(local[r], splitters);
+    for (std::size_t b = 0; b < ranks; ++b) {
+      if (b != r) trace.alltoall_bytes += buckets[b].size() * sizeof(std::uint64_t);
+      incoming[b].insert(incoming[b].end(), buckets[b].begin(),
+                         buckets[b].end());
+    }
+  }
+  // 3. Local sorts and concatenation.
+  for (std::size_t r = 0; r < ranks; ++r) {
+    std::sort(incoming[r].begin(), incoming[r].end());
+    trace.local_sort_keys += incoming[r].size();
+    trace.sorted.insert(trace.sorted.end(), incoming[r].begin(),
+                        incoming[r].end());
+  }
+  return trace;
+}
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,36 @@
+// Distributed histogram (sample) sort — the hybrid MPI+PGAS workload of the
+// paper's reference [5] ("Designing Scalable Out-of-core Sorting with
+// Hybrid MPI+PGAS Programming Models"). The partitioning phase crosses
+// Compute Nodes (MPI); the per-partition sorting is intra-node (PGAS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecoscale::apps {
+
+/// Deterministic pseudo-random keys.
+std::vector<std::uint64_t> make_keys(std::size_t count, std::uint64_t seed);
+
+/// Choose `buckets - 1` splitters via regular sampling of the inputs.
+std::vector<std::uint64_t> choose_splitters(
+    const std::vector<std::vector<std::uint64_t>>& per_rank_keys,
+    std::size_t buckets);
+
+/// Partition keys by splitters: result[b] = keys for bucket b.
+std::vector<std::vector<std::uint64_t>> partition_keys(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::uint64_t>& splitters);
+
+/// Full functional sample sort across `ranks` logical ranks; returns the
+/// concatenated sorted sequence (for validation) and per-phase byte counts.
+struct SampleSortTrace {
+  std::vector<std::uint64_t> sorted;
+  std::size_t alltoall_bytes = 0;   // inter-rank (MPI) traffic
+  std::size_t local_sort_keys = 0;  // intra-rank work
+};
+
+SampleSortTrace sample_sort(const std::vector<std::uint64_t>& keys,
+                            std::size_t ranks);
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,69 @@
+#include "apps/stencil.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecoscale::apps {
+
+Grid2D::Grid2D(std::size_t width, std::size_t height, double init)
+    : width_(width), height_(height), cells_(width * height, init) {
+  ECO_CHECK(width >= 3 && height >= 3);
+}
+
+double& Grid2D::at(std::size_t x, std::size_t y) {
+  ECO_CHECK(x < width_ && y < height_);
+  return cells_[y * width_ + x];
+}
+
+double Grid2D::at(std::size_t x, std::size_t y) const {
+  ECO_CHECK(x < width_ && y < height_);
+  return cells_[y * width_ + x];
+}
+
+double jacobi_step(const Grid2D& in, Grid2D& out) {
+  ECO_CHECK(in.width() == out.width() && in.height() == out.height());
+  double residual = 0.0;
+  for (std::size_t y = 1; y + 1 < in.height(); ++y) {
+    for (std::size_t x = 1; x + 1 < in.width(); ++x) {
+      const double v = 0.25 * (in.at(x, y - 1) + in.at(x, y + 1) +
+                               in.at(x - 1, y) + in.at(x + 1, y));
+      residual = std::max(residual, std::abs(v - in.at(x, y)));
+      out.at(x, y) = v;
+    }
+  }
+  return residual;
+}
+
+std::size_t jacobi_solve(Grid2D& grid, double tol, std::size_t max_iters) {
+  Grid2D scratch = grid;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    const double residual = jacobi_step(grid, scratch);
+    // Copy interior back (halo stays fixed: Dirichlet boundary).
+    for (std::size_t y = 1; y + 1 < grid.height(); ++y) {
+      for (std::size_t x = 1; x + 1 < grid.width(); ++x) {
+        grid.at(x, y) = scratch.at(x, y);
+      }
+    }
+    if (residual < tol) return iter + 1;
+  }
+  return max_iters;
+}
+
+std::size_t halo_bytes_per_sweep(std::size_t width, std::size_t height,
+                                 std::size_t tiles_x, std::size_t tiles_y) {
+  ECO_CHECK(tiles_x >= 1 && tiles_y >= 1);
+  const std::size_t tile_w = width / tiles_x;
+  const std::size_t tile_h = height / tiles_y;
+  // Each interior tile boundary exchanges one row or column of doubles in
+  // both directions.
+  const std::size_t vertical_cuts = tiles_x - 1;
+  const std::size_t horizontal_cuts = tiles_y - 1;
+  const std::size_t bytes =
+      2 * vertical_cuts * tiles_y * tile_h * sizeof(double) +
+      2 * horizontal_cuts * tiles_x * tile_w * sizeof(double);
+  return bytes;
+}
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,51 @@
+// Jacobi 5-point stencil — the canonical locality-friendly HPC kernel the
+// paper's hierarchical-partitioning argument (§2, Figure 1) is built
+// around. Functional implementation for correctness plus halo-exchange
+// accounting for the communication experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecoscale::apps {
+
+/// Dense 2-D grid with a one-cell halo ring.
+class Grid2D {
+ public:
+  Grid2D(std::size_t width, std::size_t height, double init = 0.0);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  double& at(std::size_t x, std::size_t y);
+  double at(std::size_t x, std::size_t y) const;
+
+  /// Interior cells only (excludes the halo ring).
+  std::size_t interior_cells() const {
+    return (width_ - 2) * (height_ - 2);
+  }
+
+  std::vector<double>& data() { return cells_; }
+  const std::vector<double>& data() const { return cells_; }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<double> cells_;
+};
+
+/// One Jacobi relaxation sweep: out = 0.25 * (N + S + E + W) over the
+/// interior. Returns the max absolute change (residual).
+double jacobi_step(const Grid2D& in, Grid2D& out);
+
+/// Iterate until the residual drops below `tol` or `max_iters` sweeps.
+/// Returns the number of sweeps executed.
+std::size_t jacobi_solve(Grid2D& grid, double tol, std::size_t max_iters);
+
+/// Halo bytes exchanged per sweep for a (tiles_x × tiles_y) decomposition
+/// of a (width × height) interior: the per-boundary traffic used by the
+/// hierarchical-vs-flat mapping experiments.
+std::size_t halo_bytes_per_sweep(std::size_t width, std::size_t height,
+                                 std::size_t tiles_x, std::size_t tiles_y);
+
+}  // namespace ecoscale::apps

@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking.
+//
+// ECO_CHECK is always on (simulator correctness beats the tiny cost); a
+// failed check throws ecoscale::CheckError so tests can assert on misuse of
+// the public API.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecoscale {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ECO_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace ecoscale
+
+#define ECO_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::ecoscale::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define ECO_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream eco_check_os;                                \
+      eco_check_os << msg;                                            \
+      ::ecoscale::check_failed(#expr, __FILE__, __LINE__,             \
+                               eco_check_os.str());                   \
+    }                                                                 \
+  } while (false)

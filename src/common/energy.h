@@ -1,0 +1,49 @@
+// Per-component energy accounting.
+//
+// Every simulated component owns an EnergyMeter and charges picojoules to
+// named categories (e.g. "dram.read", "link.hop", "fabric.config"); the
+// experiment harnesses aggregate meters into the energy columns reported in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/units.h"
+
+namespace ecoscale {
+
+class EnergyMeter {
+ public:
+  void charge(const std::string& category, Picojoules pj) {
+    by_category_[category] += pj;
+    total_ += pj;
+  }
+
+  Picojoules total() const { return total_; }
+
+  Picojoules category(const std::string& name) const {
+    auto it = by_category_.find(name);
+    return it == by_category_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, Picojoules>& breakdown() const {
+    return by_category_;
+  }
+
+  void merge(const EnergyMeter& other) {
+    for (const auto& [k, v] : other.by_category_) by_category_[k] += v;
+    total_ += other.total_;
+  }
+
+  void clear() {
+    by_category_.clear();
+    total_ = 0.0;
+  }
+
+ private:
+  std::map<std::string, Picojoules> by_category_;
+  Picojoules total_ = 0.0;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace ecoscale {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("ECO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::cerr << "[eco:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace ecoscale

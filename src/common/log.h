@@ -1,0 +1,48 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// set ECO_LOG_LEVEL=debug|info|warn in the environment or call
+// set_log_level() to enable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ecoscale {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace ecoscale
+
+#define ECO_LOG(level_enum)                                           \
+  if (::ecoscale::log_level() > ::ecoscale::LogLevel::level_enum) {   \
+  } else                                                              \
+    ::ecoscale::internal::LogMessage(::ecoscale::LogLevel::level_enum)
+
+#define ECO_DEBUG ECO_LOG(kDebug)
+#define ECO_INFO ECO_LOG(kInfo)
+#define ECO_WARN ECO_LOG(kWarn)

@@ -1,0 +1,97 @@
+// Streaming statistics and histograms for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecoscale {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of samples with exact percentiles. For simulator-sized sample
+/// counts (<= millions) exact storage is fine and avoids sketch error.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return values_.size(); }
+  double percentile(double p) const;  // p in [0, 100]
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+  void clear() { values_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Streaming quantile estimation without sample storage: the P² algorithm
+/// (Jain & Chlamtac 1985). Five markers track the target quantile and its
+/// neighbourhood; memory is O(1) and estimates converge for stationary
+/// streams. Robust statistics built on this (median, IQR) resist the
+/// outliers that contaminate mean/stddev.
+class QuantileEstimator {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median.
+  explicit QuantileEstimator(double q);
+
+  void add(double x);
+  std::size_t count() const { return n_; }
+
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Named monotonically increasing counters (traffic bytes, messages, hits…).
+class CounterSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ECO_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  ECO_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, table has "
+                           << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_ratio(double v, int digits) { return fmt_fixed(v, digits) + "x"; }
+
+std::string fmt_pct(double frac, int digits) {
+  return fmt_fixed(frac * 100.0, digits) + "%";
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fmt_fixed(bytes, bytes < 10 ? 2 : 1) + " " + units[u];
+}
+
+std::string fmt_time_ps(double ps) {
+  const char* units[] = {"ps", "ns", "us", "ms", "s"};
+  int u = 0;
+  while (ps >= 1000.0 && u < 4) {
+    ps /= 1000.0;
+    ++u;
+  }
+  return fmt_fixed(ps, ps < 10 ? 2 : 1) + " " + units[u];
+}
+
+std::string fmt_energy_pj(double pj) {
+  const char* units[] = {"pJ", "nJ", "uJ", "mJ", "J"};
+  int u = 0;
+  while (pj >= 1000.0 && u < 4) {
+    pj /= 1000.0;
+    ++u;
+  }
+  return fmt_fixed(pj, pj < 10 ? 2 : 1) + " " + units[u];
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,40 @@
+// Aligned plain-text tables: the output format of every bench harness.
+//
+// Each experiment binary prints one or more tables whose rows correspond to
+// the series recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecoscale {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; cells are pre-formatted strings (use cell() helpers below).
+  Table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by bench binaries.
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_fixed(double v, int digits = 2);
+std::string fmt_sci(double v, int digits = 2);
+std::string fmt_ratio(double v, int digits = 2);   // "3.14x"
+std::string fmt_pct(double frac, int digits = 1);  // 0.42 -> "42.0%"
+std::string fmt_bytes(double bytes);               // human-readable
+std::string fmt_time_ps(double ps);                // picoseconds, scaled
+std::string fmt_energy_pj(double pj);              // picojoules, scaled
+
+}  // namespace ecoscale

@@ -1,0 +1,219 @@
+#include "fabric/bitstream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+Bitstream generate_bitstream(std::size_t slots, double density,
+                             std::uint64_t seed) {
+  ECO_CHECK(density >= 0.0 && density <= 1.0);
+  Rng rng(seed);
+  Bitstream bs;
+  bs.data.resize(slots * kBytesPerSlot, 0);
+  // Work frame-by-frame (64-byte frames): a frame is either zero (unused
+  // fabric), a repeated pattern (regular routing), or random (dense logic).
+  constexpr std::size_t kFrame = 64;
+  for (std::size_t off = 0; off + kFrame <= bs.data.size(); off += kFrame) {
+    const double u = rng.uniform();
+    if (u >= density) continue;  // zero frame
+    if (rng.chance(0.5)) {
+      // Repeated pattern frame.
+      const auto pattern = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      std::fill_n(bs.data.begin() + static_cast<std::ptrdiff_t>(off), kFrame,
+                  pattern);
+    } else {
+      for (std::size_t i = 0; i < kFrame; ++i) {
+        bs.data[off + i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      }
+    }
+  }
+  return bs;
+}
+
+namespace {
+
+// Token format for zero-RLE:
+//   0x00 <u16 count>         : run of `count` zero bytes
+//   0x01 <u16 count> <bytes> : literal run
+void put_u16(std::vector<std::uint8_t>& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+std::size_t get_u16(const std::vector<std::uint8_t>& in, std::size_t pos) {
+  return static_cast<std::size_t>(in[pos]) |
+         (static_cast<std::size_t>(in[pos + 1]) << 8);
+}
+
+constexpr std::size_t kMaxRun = 0xffff;
+
+}  // namespace
+
+CompressionResult compress_rle(const Bitstream& bs) {
+  CompressionResult result;
+  result.original_size = bs.size();
+  const auto& in = bs.data;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == 0) {
+      std::size_t run = 0;
+      while (i + run < in.size() && in[i + run] == 0 && run < kMaxRun) ++run;
+      result.data.push_back(0x00);
+      put_u16(result.data, run);
+      i += run;
+    } else {
+      std::size_t run = 0;
+      while (i + run < in.size() && in[i + run] != 0 && run < kMaxRun) ++run;
+      result.data.push_back(0x01);
+      put_u16(result.data, run);
+      result.data.insert(result.data.end(),
+                         in.begin() + static_cast<std::ptrdiff_t>(i),
+                         in.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    }
+  }
+  result.compressed_size = result.data.size();
+  return result;
+}
+
+Bitstream decompress_rle(const CompressionResult& c) {
+  Bitstream out;
+  out.data.reserve(c.original_size);
+  std::size_t i = 0;
+  while (i < c.data.size()) {
+    const std::uint8_t tag = c.data[i];
+    const std::size_t count = get_u16(c.data, i + 1);
+    i += 3;
+    if (tag == 0x00) {
+      out.data.insert(out.data.end(), count, 0);
+    } else {
+      out.data.insert(out.data.end(),
+                      c.data.begin() + static_cast<std::ptrdiff_t>(i),
+                      c.data.begin() + static_cast<std::ptrdiff_t>(i + count));
+      i += count;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// LZ77 token format:
+//   0x00 <u16 len> <bytes>        : literal run
+//   0x01 <u16 dist> <u16 len>     : copy `len` bytes from `dist` back
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 6;
+
+}  // namespace
+
+CompressionResult compress_lz(const Bitstream& bs) {
+  CompressionResult result;
+  result.original_size = bs.size();
+  const auto& in = bs.data;
+  // Hash chains over 4-byte prefixes for match finding.
+  std::vector<std::int64_t> head(1 << 16, -1);
+  std::vector<std::int64_t> prev(in.size(), -1);
+  auto hash4 = [&](std::size_t pos) -> std::uint16_t {
+    std::uint32_t h = 0;
+    for (int k = 0; k < 4; ++k) {
+      h = h * 131 + in[pos + static_cast<std::size_t>(k)];
+    }
+    return static_cast<std::uint16_t>(h ^ (h >> 16));
+  };
+  std::vector<std::uint8_t> literals;
+  auto flush_literals = [&] {
+    std::size_t off = 0;
+    while (off < literals.size()) {
+      const std::size_t chunk = std::min(literals.size() - off, kMaxRun);
+      result.data.push_back(0x00);
+      put_u16(result.data, chunk);
+      result.data.insert(
+          result.data.end(),
+          literals.begin() + static_cast<std::ptrdiff_t>(off),
+          literals.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+      off += chunk;
+    }
+    literals.clear();
+  };
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + 4 <= in.size()) {
+      const std::uint16_t h = hash4(i);
+      std::int64_t cand = head[h];
+      int tries = 16;
+      while (cand >= 0 && tries-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t max_len = std::min(in.size() - i, kMaxRun);
+        while (len < max_len && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+        }
+        cand = prev[c];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals();
+      result.data.push_back(0x01);
+      put_u16(result.data, best_dist);
+      put_u16(result.data, best_len);
+      // Insert hash entries for the covered region (sparsely, every 4th,
+      // to bound compression time).
+      const std::size_t end = i + best_len;
+      while (i < end) {
+        if (i + 4 <= in.size()) {
+          const std::uint16_t h = hash4(i);
+          prev[i] = head[h];
+          head[h] = static_cast<std::int64_t>(i);
+        }
+        i += 4;
+      }
+      i = end;
+    } else {
+      if (i + 4 <= in.size()) {
+        const std::uint16_t h = hash4(i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      literals.push_back(in[i]);
+      ++i;
+    }
+  }
+  flush_literals();
+  result.compressed_size = result.data.size();
+  return result;
+}
+
+Bitstream decompress_lz(const CompressionResult& c) {
+  Bitstream out;
+  out.data.reserve(c.original_size);
+  std::size_t i = 0;
+  while (i < c.data.size()) {
+    const std::uint8_t tag = c.data[i];
+    if (tag == 0x00) {
+      const std::size_t len = get_u16(c.data, i + 1);
+      i += 3;
+      out.data.insert(out.data.end(),
+                      c.data.begin() + static_cast<std::ptrdiff_t>(i),
+                      c.data.begin() + static_cast<std::ptrdiff_t>(i + len));
+      i += len;
+    } else {
+      const std::size_t dist = get_u16(c.data, i + 1);
+      const std::size_t len = get_u16(c.data, i + 3);
+      i += 5;
+      ECO_CHECK(dist <= out.data.size());
+      for (std::size_t k = 0; k < len; ++k) {
+        out.data.push_back(out.data[out.data.size() - dist]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,61 @@
+// Partial bitstream model with configuration-data compression.
+//
+// Paper §4.3: "By minimizing module bounding boxes and by using
+// configuration data compression [11], we will reduce memory requirements,
+// configuration latency and configuration power consumption at the same
+// time." We generate synthetic bitstreams whose statistics mimic real
+// partial bitstreams (long zero runs from unused resources, repeated frame
+// patterns) and implement the two decompressor-friendly schemes of Koch et
+// al. [11]: run-length encoding of zero frames and LZ-style dictionary
+// references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+/// Bytes of configuration data per fabric slot (one "frame column").
+inline constexpr Bytes kBytesPerSlot = 4096;
+
+struct Bitstream {
+  std::vector<std::uint8_t> data;
+
+  Bytes size() const { return data.size(); }
+};
+
+/// Generate a synthetic partial bitstream for a module occupying
+/// `slots` slots with logic density `density` in [0,1]: density is the
+/// fraction of configuration frames carrying non-trivial logic; the rest
+/// are zero (unused routing/logic), which is what makes real partial
+/// bitstreams compressible.
+Bitstream generate_bitstream(std::size_t slots, double density,
+                             std::uint64_t seed);
+
+struct CompressionResult {
+  std::vector<std::uint8_t> data;
+  Bytes original_size = 0;
+  Bytes compressed_size = 0;
+
+  double ratio() const {
+    return compressed_size
+               ? static_cast<double>(original_size) /
+                     static_cast<double>(compressed_size)
+               : 0.0;
+  }
+};
+
+/// Zero-run-length encoding: the hardware decompressor of [11] expands
+/// zero-runs at full configuration-port rate.
+CompressionResult compress_rle(const Bitstream& bs);
+Bitstream decompress_rle(const CompressionResult& c);
+
+/// Dictionary (LZ77-style, 4 KiB window, byte-aligned tokens): higher ratio
+/// than zero-RLE at a modest decompressor cost.
+CompressionResult compress_lz(const Bitstream& bs);
+Bitstream decompress_lz(const CompressionResult& c);
+
+}  // namespace ecoscale

@@ -1,0 +1,114 @@
+// Runtime partial-reconfiguration manager (middleware lower half, §4.3).
+//
+// Owns one Worker's fabric: the slot-grid floorplan, the configuration port
+// (a serially reusable resource with ICAP-class bandwidth) and the set of
+// currently loaded modules. Provides ensure_loaded() — the primitive the
+// runtime scheduler calls when it decides a function should execute in
+// hardware — with LRU eviction of idle modules and optional defragmentation
+// and bitstream compression.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/energy.h"
+#include "common/units.h"
+#include "fabric/accelerator.h"
+#include "fabric/bitstream.h"
+#include "fabric/floorplan.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+
+enum class BitstreamMode {
+  kFullRegion,    // fixed island covering the whole fabric column set
+  kBoundingBox,   // GoAhead-minimised region == module bbox
+};
+
+enum class CompressionMode { kNone, kRle, kLz };
+
+struct ReconfigConfig {
+  std::size_t fabric_width = 8;
+  std::size_t fabric_height = 8;
+  Bandwidth config_port_bw = Bandwidth::from_gib_per_s(0.4);  // ICAP ~400 MB/s
+  SimDuration setup_latency = microseconds(5);  // driver + port arbitration
+  double pj_per_config_byte = 2.0;
+  BitstreamMode bitstream_mode = BitstreamMode::kBoundingBox;
+  CompressionMode compression = CompressionMode::kNone;
+  bool allow_defrag = true;
+};
+
+struct LoadResult {
+  RegionId region = 0;
+  SimTime ready = 0;       // when the module is usable
+  bool reconfigured = false;   // false = was already loaded
+  bool evicted_any = false;
+  bool defragmented = false;
+  Bytes config_bytes = 0;  // bytes pushed through the port (post-compression)
+};
+
+class ReconfigManager {
+ public:
+  explicit ReconfigManager(std::string name, ReconfigConfig config = {});
+
+  /// Make `module` available, loading (and possibly evicting/defragmenting)
+  /// as needed. Returns nullopt if the module cannot fit even on an empty
+  /// fabric or all loaded modules are busy past any feasible eviction.
+  std::optional<LoadResult> ensure_loaded(const AcceleratorModule& module,
+                                          SimTime now);
+
+  /// Mark a region busy until `t` (the scheduler sets this around
+  /// invocations; busy modules are never evicted).
+  void set_busy_until(RegionId region, SimTime t);
+
+  bool is_loaded(KernelId kernel) const;
+  /// Loaded and not executing at time `now` (safe to evict/relocate).
+  bool is_idle(KernelId kernel, SimTime now) const;
+  std::optional<RegionId> region_of(KernelId kernel) const;
+
+  /// Explicitly unload a kernel's module.
+  void unload(KernelId kernel);
+
+  const Floorplan& floorplan() const { return floorplan_; }
+
+  // --- stats ---
+  std::uint64_t loads() const { return loads_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t defrag_runs() const { return defrag_runs_; }
+  Bytes config_bytes() const { return config_bytes_total_; }
+  SimDuration config_time() const { return config_port_.busy_time(); }
+  const EnergyMeter& energy() const { return energy_; }
+  const ReconfigConfig& config() const { return config_; }
+
+  /// Wire bytes for this module under the current mode settings; exposed so
+  /// benches can tabulate size without performing a load.
+  Bytes wire_bytes_for(const AcceleratorModule& module) const;
+
+ private:
+  struct Loaded {
+    KernelId kernel = 0;
+    RegionId region = 0;
+    SimTime busy_until = 0;
+    SimTime last_used = 0;
+  };
+
+  std::optional<RegionId> make_room(const ModuleShape& shape, SimTime now,
+                                    LoadResult& result);
+
+  std::string name_;
+  ReconfigConfig config_;
+  Floorplan floorplan_;
+  Timeline config_port_;
+  std::map<KernelId, Loaded> loaded_;
+  EnergyMeter energy_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t defrag_runs_ = 0;
+  Bytes config_bytes_total_ = 0;
+  std::uint64_t bitstream_seed_ = 1;
+};
+
+}  // namespace ecoscale

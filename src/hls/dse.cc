@@ -1,0 +1,104 @@
+#include "hls/dse.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+std::vector<HlsEstimate> enumerate_designs(const KernelIR& kernel,
+                                           const DseLimits& limits,
+                                           const HlsTechnology& tech) {
+  std::vector<HlsEstimate> out;
+  for (std::uint32_t unroll = 1; unroll <= limits.max_unroll; unroll *= 2) {
+    for (std::uint32_t part = 1; part <= limits.max_partition; part *= 2) {
+      for (std::uint32_t ports = 1; ports <= limits.max_dram_ports;
+           ports *= 2) {
+        for (int pipe = limits.explore_no_pipeline ? 0 : 1; pipe <= 1;
+             ++pipe) {
+          HlsDesign d;
+          d.unroll = unroll;
+          d.array_partition = part;
+          d.dram_ports = ports;
+          d.pipeline = pipe == 1;
+          out.push_back(estimate_design(kernel, d, tech));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<HlsEstimate> pareto_front(std::vector<HlsEstimate> points) {
+  // Sort by (area asc, throughput desc); sweep keeping strictly improving
+  // throughput.
+  std::sort(points.begin(), points.end(),
+            [](const HlsEstimate& a, const HlsEstimate& b) {
+              if (a.slots != b.slots) return a.slots < b.slots;
+              return a.items_per_cycle > b.items_per_cycle;
+            });
+  std::vector<HlsEstimate> front;
+  double best = -1.0;
+  for (const auto& p : points) {
+    if (p.items_per_cycle > best) {
+      front.push_back(p);
+      best = p.items_per_cycle;
+    }
+  }
+  return front;
+}
+
+std::optional<HlsEstimate> select_design(const KernelIR& kernel,
+                                         const DseConstraints& constraints,
+                                         const DseLimits& limits,
+                                         const HlsTechnology& tech) {
+  const auto front = pareto_front(enumerate_designs(kernel, limits, tech));
+  std::optional<HlsEstimate> best;
+  for (const auto& p : front) {
+    if (p.slots > constraints.max_slots) continue;
+    if (!best || p.items_per_cycle > best->items_per_cycle) best = p;
+  }
+  if (best && best->items_per_cycle < constraints.min_items_per_cycle) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::vector<AcceleratorModule> emit_variants(const KernelIR& kernel,
+                                             std::size_t max_variants,
+                                             const DseLimits& limits,
+                                             const HlsTechnology& tech,
+                                             std::size_t fabric_height) {
+  ECO_CHECK(max_variants >= 1);
+  auto front = pareto_front(enumerate_designs(kernel, limits, tech));
+  ECO_CHECK(!front.empty());
+  // Thin the front to at most max_variants spread across the area range:
+  // always keep the smallest and the largest, sample in between.
+  std::vector<HlsEstimate> chosen;
+  if (front.size() <= max_variants) {
+    chosen = std::move(front);
+  } else if (max_variants == 1) {
+    // Highest-throughput point that still fits a fabric_height-square
+    // fabric; fall back to the smallest design.
+    const std::size_t cap = fabric_height * fabric_height;
+    const HlsEstimate* pick = &front.front();
+    for (const auto& p : front) {
+      if (p.slots <= cap) pick = &p;
+    }
+    chosen.push_back(*pick);
+  } else {
+    for (std::size_t i = 0; i < max_variants; ++i) {
+      const std::size_t idx =
+          i * (front.size() - 1) / (max_variants - 1);
+      chosen.push_back(front[idx]);
+    }
+  }
+  std::vector<AcceleratorModule> modules;
+  modules.reserve(chosen.size());
+  for (const auto& est : chosen) {
+    modules.push_back(emit_module(kernel, est, tech, fabric_height));
+  }
+  return modules;
+}
+
+}  // namespace ecoscale

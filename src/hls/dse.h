@@ -1,0 +1,58 @@
+// HLS design-space exploration (paper §4.3).
+//
+// "The ECOSCALE HLS tool will tackle this problem by providing a way to
+// specify performance and area constraints, and then automatically
+// exploring high-performance hardware implementation techniques…"
+//
+// The explorer enumerates (unroll, pipeline, partition, DRAM-port) points,
+// estimates each, keeps the area/throughput Pareto front, and selects
+// designs under user constraints — no designer intervention, matching the
+// paper's "minimal intervention" goal.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hls/estimate.h"
+#include "hls/ir.h"
+
+namespace ecoscale {
+
+struct DseLimits {
+  std::uint32_t max_unroll = 16;
+  std::uint32_t max_partition = 8;
+  std::uint32_t max_dram_ports = 4;
+  bool explore_no_pipeline = true;  // include pipeline=off points
+};
+
+struct DseConstraints {
+  std::size_t max_slots = SIZE_MAX;       // area budget
+  double min_items_per_cycle = 0.0;       // performance floor
+};
+
+/// All estimated points (the full sweep).
+std::vector<HlsEstimate> enumerate_designs(const KernelIR& kernel,
+                                           const DseLimits& limits = {},
+                                           const HlsTechnology& tech = {});
+
+/// Pareto-optimal subset (maximal throughput for given area), sorted by
+/// ascending area.
+std::vector<HlsEstimate> pareto_front(std::vector<HlsEstimate> points);
+
+/// Best design under constraints: the highest-throughput Pareto point that
+/// fits max_slots; nullopt if the floor is unreachable within the budget.
+std::optional<HlsEstimate> select_design(const KernelIR& kernel,
+                                         const DseConstraints& constraints,
+                                         const DseLimits& limits = {},
+                                         const HlsTechnology& tech = {});
+
+/// Multi-variant module library entry: one module per Pareto point, so the
+/// runtime can pick a small variant when the fabric is crowded and a large
+/// one when it is empty (§4.3 "use this library in a very flexible manner").
+std::vector<AcceleratorModule> emit_variants(const KernelIR& kernel,
+                                             std::size_t max_variants = 4,
+                                             const DseLimits& limits = {},
+                                             const HlsTechnology& tech = {},
+                                             std::size_t fabric_height = 8);
+
+}  // namespace ecoscale

@@ -1,0 +1,134 @@
+#include "hls/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+namespace {
+
+std::uint32_t op_area(const OpMix& ops, const HlsTechnology& t) {
+  return ops.int_add * t.area_int_add + ops.int_mul * t.area_int_mul +
+         ops.fp_add * t.area_fp_add + ops.fp_mul * t.area_fp_mul +
+         ops.fp_div * t.area_fp_div + ops.special * t.area_special +
+         ops.compare * t.area_compare;
+}
+
+/// Critical-path latency through one iteration's datapath: a serial chain
+/// approximation weighted toward the slowest op classes.
+std::uint32_t op_depth(const KernelIR& k, const HlsTechnology& t) {
+  std::uint32_t depth = t.lat_mem;  // initial load
+  if (k.ops.fp_div > 0) depth += t.lat_fp_div;
+  if (k.ops.special > 0) depth += t.lat_special;
+  // log2-deep reduction tree over the remaining arithmetic.
+  const std::uint32_t arith = k.ops.int_add + k.ops.int_mul + k.ops.fp_add +
+                              k.ops.fp_mul + k.ops.compare;
+  if (arith > 0) {
+    const auto levels = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(arith) + 1.0)));
+    depth += levels * t.lat_fp_add;
+  }
+  if (k.stores > 0) depth += t.lat_mem;
+  return std::max<std::uint32_t>(depth, 2);
+}
+
+}  // namespace
+
+HlsEstimate estimate_design(const KernelIR& kernel, const HlsDesign& design,
+                            const HlsTechnology& tech) {
+  ECO_CHECK(design.unroll >= 1);
+  ECO_CHECK(design.array_partition >= 1);
+  ECO_CHECK(design.dram_ports >= 1);
+  HlsEstimate est;
+  est.design = design;
+
+  // --- initiation interval ---
+  // Memory-resource bound: U unrolled iterations issue U*(loads+stores)
+  // accesses per II across (partitioned local ports + DRAM ports).
+  const std::uint32_t mem_ops =
+      (kernel.loads + kernel.stores) * design.unroll;
+  const std::uint32_t ports = design.array_partition + design.dram_ports;
+  const std::uint32_t resource_ii = static_cast<std::uint32_t>(
+      (mem_ops + ports - 1) / ports);
+  // Recurrence bound: a loop-carried chain of L cycles every D iterations
+  // cannot be beaten by unrolling (unroll executes D-dependent iterations
+  // serially within the unrolled body).
+  std::uint32_t recurrence_ii = 1;
+  if (kernel.recurrence_distance > 0) {
+    recurrence_ii = static_cast<std::uint32_t>(
+        (kernel.recurrence_latency + kernel.recurrence_distance - 1) /
+        kernel.recurrence_distance);
+    // The unrolled body contains `unroll` copies of the recurrence step.
+    recurrence_ii *= design.unroll;
+  }
+  if (design.pipeline) {
+    est.ii = std::max<std::uint32_t>(
+        {1u, resource_ii, recurrence_ii});
+  } else {
+    // No pipelining: a new iteration starts only when the previous body
+    // finishes.
+    est.ii = op_depth(kernel, tech) * design.unroll;
+  }
+
+  est.depth = op_depth(kernel, tech);
+  est.items_per_cycle =
+      static_cast<double>(design.unroll) / static_cast<double>(est.ii);
+
+  // --- area ---
+  std::uint32_t area = op_area(kernel.ops, tech) * design.unroll;
+  area += (kernel.loads + kernel.stores) * tech.area_mem_port * design.unroll;
+  // Partitioned local arrays: banking multiplexers + duplicated control.
+  area += design.array_partition * 64;
+  area += design.dram_ports * 220;  // AXI-class DRAM port
+  // Local array storage area (amortised BRAM-as-area), scaled by partition
+  // replication overhead of ~10% per extra bank.
+  const double bram_units =
+      static_cast<double>(kernel.local_array_bytes) / 64.0 *
+      (1.0 + 0.1 * static_cast<double>(design.array_partition - 1));
+  area += static_cast<std::uint32_t>(bram_units);
+  est.area_units = area;
+  est.slots = std::max<std::size_t>(
+      1, (area + tech.area_units_per_slot - 1) / tech.area_units_per_slot);
+
+  // --- energy ---
+  est.pj_per_item =
+      tech.pj_per_op * static_cast<double>(kernel.ops.total()) +
+      tech.pj_per_local_byte *
+          static_cast<double>(kernel.bytes_in + kernel.bytes_out);
+  return est;
+}
+
+AcceleratorModule emit_module(const KernelIR& kernel, const HlsEstimate& est,
+                              const HlsTechnology& tech,
+                              std::size_t fabric_height) {
+  AcceleratorModule m;
+  m.name = kernel.name + "_u" + std::to_string(est.design.unroll) + "_p" +
+           std::to_string(est.design.array_partition);
+  m.kernel = kernel.id;
+  m.pipeline_depth = est.depth;
+  // The module descriptor models per-item issue: with unroll U and interval
+  // II, one item completes every II/U cycles on average. Keep integer math
+  // by scaling the clock when II/U is fractional.
+  if (est.ii % est.design.unroll == 0) {
+    m.initiation_interval = est.ii / est.design.unroll;
+    m.clock_ghz = tech.clock_ghz;
+  } else {
+    m.initiation_interval = est.ii;
+    m.clock_ghz = tech.clock_ghz * static_cast<double>(est.design.unroll);
+  }
+  m.bytes_in_per_item = kernel.bytes_in;
+  m.bytes_out_per_item = kernel.bytes_out;
+  m.pj_per_item = est.pj_per_item;
+  // Shape: fill columns of the fabric height first (GoAhead column-style
+  // modules), then widen.
+  const std::size_t h = std::min<std::size_t>(fabric_height, est.slots);
+  const std::size_t w = (est.slots + h - 1) / h;
+  m.shape = ModuleShape{w, h};
+  m.logic_density = std::min(
+      0.9, 0.25 + 0.1 * static_cast<double>(est.design.unroll));
+  return m;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,68 @@
+// Analytic HLS estimation: from (KernelIR, HlsDesign) to cycle-accurate-ish
+// pipeline parameters and a fabric footprint.
+//
+// This replaces the vendor HLS backend (SDAccel / FASTCUDA, §4.3) with an
+// analytic model of the same decisions the paper lists: "pipelining, loop
+// unrolling, as well as data storage and data-path partitioning and
+// duplication".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/accelerator.h"
+#include "hls/ir.h"
+
+namespace ecoscale {
+
+/// One point in the HLS design space.
+struct HlsDesign {
+  std::uint32_t unroll = 1;          // datapath duplication factor
+  bool pipeline = true;              // loop pipelining on/off
+  std::uint32_t array_partition = 1; // local-memory banks
+  std::uint32_t dram_ports = 1;      // external memory port parallelism
+};
+
+/// Estimated implementation of a design point.
+struct HlsEstimate {
+  HlsDesign design;
+  std::uint32_t ii = 1;              // initiation interval (cycles/iteration)
+  std::uint32_t depth = 1;           // pipeline depth (cycles)
+  double items_per_cycle = 0.0;      // unroll / ii
+  std::uint32_t area_units = 0;      // abstract LUT-equivalents
+  std::size_t slots = 0;             // fabric slots (area_units / slot cap)
+  double pj_per_item = 0.0;
+  double throughput_gitems_s(double clock_ghz) const {
+    return items_per_cycle * clock_ghz;
+  }
+};
+
+struct HlsTechnology {
+  std::uint32_t area_units_per_slot = 600;
+  double clock_ghz = 0.25;
+  // Per-op area (LUT-equivalents) and latency (cycles) and energy (pJ).
+  // Indicative mid-2010s FPGA figures.
+  std::uint32_t area_int_add = 16, lat_int_add = 1;
+  std::uint32_t area_int_mul = 90, lat_int_mul = 3;
+  std::uint32_t area_fp_add = 120, lat_fp_add = 5;
+  std::uint32_t area_fp_mul = 160, lat_fp_mul = 4;
+  std::uint32_t area_fp_div = 700, lat_fp_div = 16;
+  std::uint32_t area_special = 900, lat_special = 20;
+  std::uint32_t area_compare = 12, lat_compare = 1;
+  std::uint32_t area_mem_port = 80, lat_mem = 2;
+  double pj_per_op = 3.0;
+  double pj_per_local_byte = 0.05;
+};
+
+/// Estimate a design point. Deterministic and monotone in the useful
+/// directions (more unroll => no lower throughput until port-bound; more
+/// area partitioning => more area).
+HlsEstimate estimate_design(const KernelIR& kernel, const HlsDesign& design,
+                            const HlsTechnology& tech = {});
+
+/// Emit an AcceleratorModule descriptor for an estimated design.
+AcceleratorModule emit_module(const KernelIR& kernel, const HlsEstimate& est,
+                              const HlsTechnology& tech = {},
+                              std::size_t fabric_height = 8);
+
+}  // namespace ecoscale

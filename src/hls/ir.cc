@@ -1,0 +1,142 @@
+#include "hls/ir.h"
+
+namespace ecoscale {
+
+KernelIR make_stencil5_kernel() {
+  KernelIR k;
+  k.name = "stencil5";
+  k.id = 101;
+  k.ops.fp_add = 4;
+  k.ops.fp_mul = 5;
+  k.loads = 5;
+  k.stores = 1;
+  k.bytes_in = 5 * 8;
+  k.bytes_out = 8;
+  k.local_array_bytes = 3 * 1024;  // two row buffers
+  k.recurrence_distance = 0;       // Jacobi: no loop-carried dep
+  k.cpu_cycles_per_item = 14.0;
+  return k;
+}
+
+KernelIR make_matmul_tile_kernel() {
+  KernelIR k;
+  k.name = "matmul_tile";
+  k.id = 102;
+  k.ops.fp_add = 1;
+  k.ops.fp_mul = 1;
+  k.loads = 2;
+  k.stores = 0;  // accumulates into a register/local
+  k.bytes_in = 16;
+  k.bytes_out = 0;
+  k.local_array_bytes = 16 * 1024;  // tile buffers
+  k.recurrence_distance = 1;        // dot-product accumulation
+  k.recurrence_latency = 5;         // FP add latency
+  k.cpu_cycles_per_item = 6.0;
+  return k;
+}
+
+KernelIR make_montecarlo_kernel() {
+  KernelIR k;
+  k.name = "montecarlo_path";
+  k.id = 103;
+  k.ops.fp_add = 4;
+  k.ops.fp_mul = 6;
+  k.ops.special = 2;  // exp + sqrt per step
+  k.loads = 1;
+  k.stores = 1;
+  k.bytes_in = 8;
+  k.bytes_out = 8;
+  k.recurrence_distance = 0;  // independent paths
+  k.cpu_cycles_per_item = 90.0;
+  return k;
+}
+
+KernelIR make_cart_split_kernel() {
+  KernelIR k;
+  k.name = "cart_split";
+  k.id = 104;
+  k.ops.int_add = 4;
+  k.ops.compare = 3;
+  k.ops.fp_mul = 2;
+  k.ops.fp_div = 1;  // gini ratio
+  k.loads = 3;
+  k.stores = 1;
+  k.bytes_in = 12;
+  k.bytes_out = 4;
+  k.local_array_bytes = 8 * 1024;  // class histograms
+  k.recurrence_distance = 1;       // histogram update
+  k.recurrence_latency = 2;
+  k.cpu_cycles_per_item = 22.0;
+  return k;
+}
+
+KernelIR make_sha_like_kernel() {
+  KernelIR k;
+  k.name = "sha_rounds";
+  k.id = 105;
+  k.ops.int_add = 12;
+  k.ops.int_mul = 2;
+  k.ops.compare = 4;
+  k.loads = 1;
+  k.stores = 1;
+  k.bytes_in = 64;
+  k.bytes_out = 32;
+  k.recurrence_distance = 1;  // chaining value
+  k.recurrence_latency = 4;
+  k.cpu_cycles_per_item = 80.0;
+  return k;
+}
+
+KernelIR make_fft_kernel() {
+  KernelIR k;
+  k.name = "fft_butterfly";
+  k.id = 107;
+  // One butterfly: complex mul (4 mul + 2 add) + 2 complex adds.
+  k.ops.fp_mul = 4;
+  k.ops.fp_add = 6;
+  k.loads = 2;   // two complex operands (strided)
+  k.stores = 2;
+  k.bytes_in = 32;
+  k.bytes_out = 32;
+  k.local_array_bytes = 32 * 1024;  // stage buffer + twiddle ROM
+  k.recurrence_distance = 0;        // butterflies within a stage commute
+  k.cpu_cycles_per_item = 18.0;
+  return k;
+}
+
+KernelIR make_kmeans_kernel() {
+  KernelIR k;
+  k.name = "kmeans_assign";
+  k.id = 108;
+  // One work item = one point against k centroids (8 centroids × 4 dims):
+  // squared distances + argmin.
+  k.ops.fp_add = 32;
+  k.ops.fp_mul = 32;
+  k.ops.compare = 8;
+  k.loads = 5;  // point dims + streaming centroid tile
+  k.stores = 1;
+  k.bytes_in = 32;
+  k.bytes_out = 4;
+  k.local_array_bytes = 4 * 1024;  // centroid buffer
+  k.recurrence_distance = 0;       // points independent
+  k.cpu_cycles_per_item = 120.0;
+  return k;
+}
+
+KernelIR make_spmv_kernel() {
+  KernelIR k;
+  k.name = "spmv_gather";
+  k.id = 106;
+  k.ops.fp_add = 1;
+  k.ops.fp_mul = 1;
+  k.loads = 3;  // value, column index, x[col]
+  k.stores = 1;
+  k.bytes_in = 20;
+  k.bytes_out = 8;
+  k.recurrence_distance = 1;  // row accumulation
+  k.recurrence_latency = 5;
+  k.cpu_cycles_per_item = 11.0;
+  return k;
+}
+
+}  // namespace ecoscale

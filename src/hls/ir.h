@@ -1,0 +1,73 @@
+// Kernel intermediate representation consumed by the HLS flow.
+//
+// A kernel (an OpenCL work-function in the paper's programming model) is
+// characterised by its per-work-item operation mix, memory behaviour and
+// the loop-carried recurrence that bounds pipelining. This is the
+// "non-hardware-specific OpenCL model" of §4.3: no architectural decisions
+// (unrolling, partitioning, port counts) appear here — those are what the
+// HLS explorer chooses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "fabric/accelerator.h"
+
+namespace ecoscale {
+
+struct OpMix {
+  std::uint32_t int_add = 0;
+  std::uint32_t int_mul = 0;
+  std::uint32_t fp_add = 0;
+  std::uint32_t fp_mul = 0;
+  std::uint32_t fp_div = 0;
+  std::uint32_t special = 0;  // sqrt/exp/log class
+  std::uint32_t compare = 0;
+
+  std::uint32_t total() const {
+    return int_add + int_mul + fp_add + fp_mul + fp_div + special + compare;
+  }
+};
+
+struct KernelIR {
+  std::string name;
+  KernelId id = 0;
+
+  /// Operation mix of one work item (one inner-loop iteration).
+  OpMix ops;
+
+  /// Memory behaviour per work item.
+  std::uint32_t loads = 2;
+  std::uint32_t stores = 1;
+  Bytes bytes_in = 16;
+  Bytes bytes_out = 8;
+
+  /// Local (on-fabric) array footprint; partitioning it multiplies ports
+  /// but costs area.
+  Bytes local_array_bytes = 0;
+
+  /// Loop-carried recurrence: a dependency chain of `recurrence_latency`
+  /// cycles every `recurrence_distance` iterations bounds the achievable
+  /// initiation interval (0 distance = fully parallel).
+  std::uint32_t recurrence_distance = 0;
+  std::uint32_t recurrence_latency = 0;
+
+  /// Software cost (for the CPU fallback and the runtime's HW/SW choice):
+  /// average CPU cycles per work item at 1 GHz-class scalar issue.
+  double cpu_cycles_per_item = 0.0;
+};
+
+/// Representative kernels used across tests, examples and benches.
+/// These mirror the application classes the paper cites: stencil codes,
+/// dense linear algebra, Monte-Carlo finance [18], CART data mining [17].
+KernelIR make_stencil5_kernel();     // 5-point Jacobi relaxation
+KernelIR make_matmul_tile_kernel();  // dense mat-mul inner tile
+KernelIR make_montecarlo_kernel();   // path-wise option pricing step
+KernelIR make_cart_split_kernel();   // CART gini-split scan
+KernelIR make_sha_like_kernel();     // integer hash/compression rounds
+KernelIR make_spmv_kernel();         // irregular gather-multiply
+KernelIR make_fft_kernel();          // radix-2 butterfly stage
+KernelIR make_kmeans_kernel();       // point-to-centroid distance scan
+
+}  // namespace ecoscale

@@ -1,0 +1,160 @@
+#include "interconnect/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+namespace {
+constexpr std::uint32_t kNoParent = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+Network::Network(Topology topology, NetworkConfig config)
+    : topo_(std::move(topology)),
+      config_(std::move(config)),
+      bus_timeline_("bus") {
+  ECO_CHECK_MSG(config_.level_params.contains(0),
+                "NetworkConfig must define level-0 link parameters");
+  link_timelines_.resize(topo_.link_count());
+}
+
+const LinkParams& Network::params_for_level(int level) const {
+  auto it = config_.level_params.find(level);
+  if (it == config_.level_params.end()) it = config_.level_params.find(0);
+  return it->second;
+}
+
+const std::vector<std::uint32_t>& Network::parents_from(VertexId src) {
+  auto it = parent_cache_.find(src);
+  if (it != parent_cache_.end()) return it->second;
+  // BFS over vertices; parent[v] = link id used to reach v (deterministic:
+  // links are visited in insertion order).
+  std::vector<std::uint32_t> parent(topo_.vertex_count(), kNoParent);
+  std::deque<VertexId> frontier{src};
+  std::vector<bool> seen(topo_.vertex_count(), false);
+  seen[src] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (LinkId l : topo_.out_links(v)) {
+      const VertexId next = topo_.link(l).to;
+      if (!seen[next]) {
+        seen[next] = true;
+        parent[next] = l;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return parent_cache_.emplace(src, std::move(parent)).first->second;
+}
+
+const std::vector<LinkId>& Network::route(VertexId src, VertexId dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+  std::vector<LinkId> path;
+  if (src != dst) {
+    const auto& parent = parents_from(src);
+    ECO_CHECK_MSG(parent[dst] != kNoParent || dst == src,
+                  "destination unreachable");
+    VertexId v = dst;
+    while (v != src) {
+      const LinkId l = parent[v];
+      ECO_CHECK(l != kNoParent);
+      path.push_back(l);
+      v = topo_.link(l).from;
+    }
+    std::reverse(path.begin(), path.end());
+  }
+  return path_cache_.emplace(key, std::move(path)).first->second;
+}
+
+TransferResult Network::send(std::size_t src, std::size_t dst,
+                             const Packet& packet, SimTime ready) {
+  ECO_CHECK(src < topo_.endpoint_count() && dst < topo_.endpoint_count());
+  const VertexId sv = topo_.endpoint(src);
+  const VertexId dv = topo_.endpoint(dst);
+  TransferResult result;
+  ++packets_;
+  if (sv == dv) {
+    result.arrival = ready;
+    return result;
+  }
+  const Bytes wire = packet.wire_bytes();
+  SimTime head = ready;
+  for (LinkId l : route(sv, dv)) {
+    const TopoLink& link = topo_.link(l);
+    const LinkParams& p = params_for_level(link.level);
+    const SimDuration serialization = p.bandwidth.transfer_time(wire);
+    CalendarTimeline& tl =
+        config_.shared_medium ? bus_timeline_ : link_timelines_[l];
+    // Cut-through: the head must win the link, then pays hop latency;
+    // the tail trails by the serialization time.
+    const SimTime start = tl.reserve(head, serialization);
+    head = start + p.hop_latency;
+    ++result.hops;
+    result.energy += p.pj_per_byte * static_cast<double>(wire);
+    result.energy += p.pj_per_packet;
+    byte_hops_ += wire;
+    bytes_per_level_[link.level] += wire;
+  }
+  // Last-byte arrival: head arrival plus one serialization tail on the
+  // final (bottleneck-approximated) link.
+  const auto& path = route(sv, dv);
+  const LinkParams& last = params_for_level(topo_.link(path.back()).level);
+  result.arrival = head + last.bandwidth.transfer_time(wire);
+  energy_.charge(std::string("net.") + packet_type_name(packet.type),
+                 result.energy);
+  return result;
+}
+
+int Network::hop_count(std::size_t src, std::size_t dst) {
+  ECO_CHECK(src < topo_.endpoint_count() && dst < topo_.endpoint_count());
+  return static_cast<int>(
+      route(topo_.endpoint(src), topo_.endpoint(dst)).size());
+}
+
+int Network::diameter() {
+  int best = 0;
+  for (std::size_t s = 0; s < topo_.endpoint_count(); ++s) {
+    // One BFS per endpoint; reuse the parent cache.
+    const auto& parent = parents_from(topo_.endpoint(s));
+    for (std::size_t d = 0; d < topo_.endpoint_count(); ++d) {
+      if (s == d) continue;
+      // Count hops by walking the parent chain.
+      int hops = 0;
+      VertexId v = topo_.endpoint(d);
+      const VertexId sv = topo_.endpoint(s);
+      while (v != sv) {
+        const std::uint32_t l = parent[v];
+        ECO_CHECK(l != kNoParent);
+        v = topo_.link(l).from;
+        ++hops;
+      }
+      best = std::max(best, hops);
+    }
+  }
+  return best;
+}
+
+SimTime Network::max_link_busy() const {
+  if (config_.shared_medium) return bus_timeline_.busy_time();
+  SimTime best = 0;
+  for (const auto& tl : link_timelines_) best = std::max(best, tl.busy_time());
+  return best;
+}
+
+double Network::max_link_utilization(SimTime horizon) const {
+  if (horizon == 0) return 0.0;
+  if (config_.shared_medium) return bus_timeline_.utilization(horizon);
+  double best = 0.0;
+  for (const auto& tl : link_timelines_) {
+    best = std::max(best, tl.utilization(horizon));
+  }
+  return best;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,100 @@
+// Contention-aware network model over a Topology.
+//
+// Transfers are routed over the shortest path (breadth-first, deterministic
+// tie-break by link id). Timing uses a cut-through approximation: the head
+// of the packet pays each traversed link's hop latency, while serialization
+// time is paid once per link and reserved on the link's timeline, so
+// congestion lengthens transfers. Energy: pJ/byte/hop plus per-packet switch
+// energy, with per-level parameters (higher levels are longer and costlier).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/energy.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "interconnect/packet.h"
+#include "interconnect/topology.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+
+struct LinkParams {
+  SimDuration hop_latency = nanoseconds(25);
+  Bandwidth bandwidth = Bandwidth::from_gib_per_s(8.0);
+  double pj_per_byte = 1.0;
+  double pj_per_packet = 5.0;  // switch/arbiter energy
+};
+
+struct NetworkConfig {
+  /// Per-level link parameters; a level not present falls back to level 0
+  /// (which must be present).
+  std::map<int, LinkParams> level_params = {{0, LinkParams{}}};
+
+  /// If true, all links share one serialization timeline (a bus).
+  bool shared_medium = false;
+};
+
+struct TransferResult {
+  SimTime arrival = 0;       // when the last byte reaches the destination
+  int hops = 0;              // links traversed
+  Picojoules energy = 0.0;
+};
+
+class Network {
+ public:
+  Network(Topology topology, NetworkConfig config);
+
+  std::size_t endpoint_count() const { return topo_.endpoint_count(); }
+
+  /// Route `packet` from endpoint index src to endpoint index dst, first
+  /// byte ready at `ready`. Endpoint indices are positions in the
+  /// topology's endpoint list, not raw vertex ids.
+  TransferResult send(std::size_t src, std::size_t dst, const Packet& packet,
+                      SimTime ready);
+
+  /// Hop count of the route between two endpoints.
+  int hop_count(std::size_t src, std::size_t dst);
+
+  /// Maximum hop count over all endpoint pairs (paper §2: tree depth adds
+  /// one hop per level). Computed by BFS from every endpoint.
+  int diameter();
+
+  // --- accounting -------------------------------------------------------
+  const EnergyMeter& energy() const { return energy_; }
+  std::uint64_t total_packets() const { return packets_; }
+  /// Sum over links of bytes carried: the "byte-hops" traffic metric.
+  std::uint64_t byte_hops() const { return byte_hops_; }
+  /// Bytes carried per level.
+  const std::map<int, std::uint64_t>& bytes_per_level() const {
+    return bytes_per_level_;
+  }
+  /// Peak serialization backlog seen on any link timeline.
+  SimTime max_link_busy() const;
+  double max_link_utilization(SimTime horizon) const;
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  const std::vector<LinkId>& route(VertexId src, VertexId dst);
+  const LinkParams& params_for_level(int level) const;
+  const std::vector<std::uint32_t>& parents_from(VertexId src);
+
+  Topology topo_;
+  NetworkConfig config_;
+  std::vector<CalendarTimeline> link_timelines_;  // one per directed link
+  CalendarTimeline bus_timeline_;                 // used when shared_medium
+  EnergyMeter energy_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t byte_hops_ = 0;
+  std::map<int, std::uint64_t> bytes_per_level_;
+
+  // Routing caches.
+  std::map<VertexId, std::vector<std::uint32_t>> parent_cache_;  // BFS trees
+  std::map<std::pair<VertexId, VertexId>, std::vector<LinkId>> path_cache_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,60 @@
+// Packet vocabulary of the multi-layer interconnect.
+//
+// The UNIMEM interconnect carries plain loads/stores, DMA bursts,
+// interrupts and synchronisation messages between the Workers of a Compute
+// Node (paper §4.1), plus configuration traffic for the reconfigurable
+// blocks and MPI-style messages between Compute Nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "address/address.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+enum class PacketType : std::uint8_t {
+  kRead,        // load request (header only)
+  kReadResp,    // load data response
+  kWrite,       // store request with data
+  kWriteAck,    // store acknowledgement
+  kDma,         // bulk DMA burst
+  kInterrupt,   // inter-worker interrupt / mailbox doorbell
+  kSync,        // synchronisation (barrier token, atomic)
+  kConfig,      // partial-reconfiguration bitstream traffic
+  kCoherence,   // snoop / invalidate (baseline global-coherence runs only)
+  kMessage,     // MPI-level message between Compute Nodes
+};
+
+const char* packet_type_name(PacketType t);
+
+/// Fixed header overhead added to every packet's payload.
+inline constexpr Bytes kHeaderBytes = 16;
+
+struct Packet {
+  PacketType type = PacketType::kRead;
+  WorkerCoord src;
+  WorkerCoord dst;
+  Bytes payload = 0;
+
+  Bytes wire_bytes() const { return payload + kHeaderBytes; }
+};
+
+inline const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kRead: return "read";
+    case PacketType::kReadResp: return "read_resp";
+    case PacketType::kWrite: return "write";
+    case PacketType::kWriteAck: return "write_ack";
+    case PacketType::kDma: return "dma";
+    case PacketType::kInterrupt: return "interrupt";
+    case PacketType::kSync: return "sync";
+    case PacketType::kConfig: return "config";
+    case PacketType::kCoherence: return "coherence";
+    case PacketType::kMessage: return "message";
+  }
+  return "?";
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,121 @@
+#include "interconnect/topology.h"
+
+namespace ecoscale {
+
+Topology make_tree(const std::vector<std::size_t>& radices) {
+  ECO_CHECK_MSG(!radices.empty(), "tree needs at least one level");
+  Topology t;
+  // Build bottom-up: endpoints first, then switch levels.
+  std::size_t endpoints = 1;
+  for (std::size_t r : radices) {
+    ECO_CHECK(r >= 1);
+    endpoints *= r;
+  }
+  std::vector<VertexId> current;
+  current.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    current.push_back(t.add_vertex(/*is_endpoint=*/true));
+  }
+  for (std::size_t level = 0; level < radices.size(); ++level) {
+    const std::size_t radix = radices[level];
+    ECO_CHECK(current.size() % radix == 0);
+    std::vector<VertexId> parents;
+    parents.reserve(current.size() / radix);
+    for (std::size_t i = 0; i < current.size(); i += radix) {
+      const VertexId sw = t.add_vertex(/*is_endpoint=*/false);
+      for (std::size_t j = 0; j < radix; ++j) {
+        t.add_link(current[i + j], sw, static_cast<int>(level));
+      }
+      parents.push_back(sw);
+    }
+    current = std::move(parents);
+  }
+  ECO_CHECK(current.size() == 1);  // single root
+  return t;
+}
+
+Topology make_crossbar(std::size_t endpoints) {
+  ECO_CHECK(endpoints >= 1);
+  Topology t;
+  std::vector<VertexId> eps;
+  eps.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    eps.push_back(t.add_vertex(true));
+  }
+  const VertexId hub = t.add_vertex(false);
+  for (VertexId e : eps) t.add_link(e, hub, 0);
+  return t;
+}
+
+Topology make_bus(std::size_t endpoints) {
+  // Same shape as a crossbar; the Network layer distinguishes a bus by
+  // mapping *all* its links onto one shared timeline (see NetworkConfig).
+  return make_crossbar(endpoints);
+}
+
+Topology make_dragonfly(std::size_t groups, std::size_t routers,
+                        std::size_t endpoints_per_router) {
+  ECO_CHECK(groups >= 1 && routers >= 1 && endpoints_per_router >= 1);
+  Topology t;
+  // routers_by_group[g][r] = vertex of router r in group g.
+  std::vector<std::vector<VertexId>> rbg(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    rbg[g].reserve(routers);
+    for (std::size_t r = 0; r < routers; ++r) {
+      // Endpoints first so endpoint indices are contiguous per router.
+      std::vector<VertexId> eps;
+      eps.reserve(endpoints_per_router);
+      for (std::size_t e = 0; e < endpoints_per_router; ++e) {
+        eps.push_back(t.add_vertex(true));
+      }
+      const VertexId router = t.add_vertex(false);
+      for (VertexId e : eps) t.add_link(e, router, 0);
+      rbg[g].push_back(router);
+    }
+    // Intra-group all-to-all (level 1).
+    for (std::size_t a = 0; a < routers; ++a) {
+      for (std::size_t b = a + 1; b < routers; ++b) {
+        t.add_link(rbg[g][a], rbg[g][b], 1);
+      }
+    }
+  }
+  // One global (level 2) link between each pair of groups, round-robining
+  // the attachment router so global links spread across routers.
+  std::size_t attach = 0;
+  for (std::size_t ga = 0; ga < groups; ++ga) {
+    for (std::size_t gb = ga + 1; gb < groups; ++gb) {
+      const VertexId ra = rbg[ga][attach % routers];
+      const VertexId rb = rbg[gb][(attach + 1) % routers];
+      t.add_link(ra, rb, 2);
+      ++attach;
+    }
+  }
+  return t;
+}
+
+Topology make_mesh2d(std::size_t cols, std::size_t rows) {
+  ECO_CHECK(cols >= 1 && rows >= 1);
+  Topology t;
+  std::vector<VertexId> routers(cols * rows);
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      const VertexId ep = t.add_vertex(true);
+      const VertexId router = t.add_vertex(false);
+      t.add_link(ep, router, 0);
+      routers[y * cols + x] = router;
+    }
+  }
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      if (x + 1 < cols) {
+        t.add_link(routers[y * cols + x], routers[y * cols + x + 1], 1);
+      }
+      if (y + 1 < rows) {
+        t.add_link(routers[y * cols + x], routers[(y + 1) * cols + x], 1);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,93 @@
+// Interconnect topology graph.
+//
+// Vertices are endpoints (Workers / Compute-Node routers) or switches; links
+// carry a "level" tag so a multi-layer hierarchy (paper Figure 3: L0, L1, …
+// interconnects) can charge level-specific latency and energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+using VertexId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+struct TopoLink {
+  VertexId from = 0;
+  VertexId to = 0;
+  int level = 0;
+};
+
+class Topology {
+ public:
+  /// Add a vertex. Endpoints are the only legal sources/destinations.
+  VertexId add_vertex(bool is_endpoint) {
+    const auto id = static_cast<VertexId>(adjacency_.size());
+    adjacency_.emplace_back();
+    if (is_endpoint) endpoints_.push_back(id);
+    return id;
+  }
+
+  /// Add a bidirectional link (two directed links sharing the level tag).
+  void add_link(VertexId a, VertexId b, int level) {
+    ECO_CHECK(a < adjacency_.size() && b < adjacency_.size());
+    ECO_CHECK(a != b);
+    add_directed(a, b, level);
+    add_directed(b, a, level);
+  }
+
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  VertexId endpoint(std::size_t i) const {
+    ECO_CHECK(i < endpoints_.size());
+    return endpoints_[i];
+  }
+
+  const std::vector<LinkId>& out_links(VertexId v) const {
+    return adjacency_[v];
+  }
+  const TopoLink& link(LinkId l) const { return links_[l]; }
+
+ private:
+  void add_directed(VertexId from, VertexId to, int level) {
+    const auto id = static_cast<LinkId>(links_.size());
+    links_.push_back(TopoLink{from, to, level});
+    adjacency_[from].push_back(id);
+  }
+
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::vector<TopoLink> links_;
+  std::vector<VertexId> endpoints_;
+};
+
+/// --- Topology builders -------------------------------------------------
+
+/// Hierarchical tree: `radices[l]` children per level-l switch; level 0
+/// attaches endpoints. E.g. {8, 8, 8} = 512 endpoints, 3 switch levels.
+/// This is the ECOSCALE multi-layer interconnect of Figures 1 and 3.
+Topology make_tree(const std::vector<std::size_t>& radices);
+
+/// All endpoints attached to a single central switch (2 hops everywhere).
+Topology make_crossbar(std::size_t endpoints);
+
+/// All endpoints on one shared medium, modelled as a chain through a single
+/// switch whose links all share level 0 — the degenerate flat baseline.
+Topology make_bus(std::size_t endpoints);
+
+/// Dragonfly-like: `groups` fully connected groups of `routers` routers,
+/// each with `endpoints_per_router` endpoints; one global link between every
+/// pair of groups. High-radix topology per paper §2 ref [2].
+Topology make_dragonfly(std::size_t groups, std::size_t routers,
+                        std::size_t endpoints_per_router);
+
+/// 2D mesh of switches (one endpoint per switch), the classic flat HPC
+/// fabric used as a non-hierarchical baseline.
+Topology make_mesh2d(std::size_t cols, std::size_t rows);
+
+}  // namespace ecoscale

@@ -1,0 +1,118 @@
+#include "memory/coherence.h"
+
+namespace ecoscale {
+
+std::vector<std::size_t> CoherenceDomain::holders(std::uint64_t line,
+                                                  std::size_t who) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (i == who) continue;
+    if (caches_[i]->state(line) != LineState::kInvalid) result.push_back(i);
+  }
+  return result;
+}
+
+std::uint64_t CoherenceDomain::probe_cost(std::size_t actual_holders) const {
+  switch (mode_) {
+    case CoherenceMode::kSnoopBroadcast:
+      // Probe every other cache; every probed cache answers.
+      return 2 * (caches_.size() - 1);
+    case CoherenceMode::kDirectory:
+      // One directory lookup message plus one probe+ack per real sharer.
+      return 1 + 2 * actual_holders;
+  }
+  return 0;
+}
+
+CoherenceAccess CoherenceDomain::read(std::size_t who, std::uint64_t addr) {
+  ECO_CHECK(who < caches_.size());
+  const std::uint64_t line = line_of(addr);
+  Cache& cache = *caches_[who];
+  ++stats_.reads;
+  CoherenceAccess result;
+  if (cache.state(line) != LineState::kInvalid) {
+    cache.touch(line, /*write=*/false);
+    cache.count_hit();
+    ++stats_.hits;
+    result.hit = true;
+    return result;
+  }
+  cache.count_miss();
+  ++stats_.misses;
+  const auto sharers = holders(line, who);
+  result.snoop_messages = probe_cost(sharers.size());
+  stats_.snoop_messages += result.snoop_messages;
+  bool forwarded = false;
+  for (std::size_t s : sharers) {
+    const LineState st = caches_[s]->state(line);
+    if (st == LineState::kModified || st == LineState::kExclusive) {
+      // Owner forwards data and downgrades to Shared.
+      caches_[s]->downgrade(line);
+      ++stats_.cache_to_cache;
+      forwarded = true;
+    }
+  }
+  if (!forwarded && !sharers.empty()) {
+    // Clean shared copy forwarded by one sharer.
+    ++stats_.cache_to_cache;
+    forwarded = true;
+  }
+  if (!forwarded) ++stats_.memory_fetches;
+  const LineState fill_state =
+      sharers.empty() ? LineState::kExclusive : LineState::kShared;
+  const CacheAccess fill = cache.fill(line, fill_state);
+  if (fill.writeback) ++stats_.writebacks;
+  return result;
+}
+
+CoherenceAccess CoherenceDomain::write(std::size_t who, std::uint64_t addr) {
+  ECO_CHECK(who < caches_.size());
+  const std::uint64_t line = line_of(addr);
+  Cache& cache = *caches_[who];
+  ++stats_.writes;
+  CoherenceAccess result;
+  const LineState st = cache.state(line);
+  if (st == LineState::kModified || st == LineState::kExclusive) {
+    cache.touch(line, /*write=*/true);
+    cache.count_hit();
+    ++stats_.hits;
+    result.hit = true;
+    return result;
+  }
+  // Shared hit still needs an upgrade (invalidate other sharers); an
+  // Invalid line needs a read-for-ownership. Both probe the domain.
+  const auto sharers = holders(line, who);
+  result.snoop_messages = probe_cost(sharers.size());
+  stats_.snoop_messages += result.snoop_messages;
+  bool forwarded = false;
+  for (std::size_t s : sharers) {
+    if (caches_[s]->state(line) == LineState::kModified) {
+      ++stats_.cache_to_cache;
+      forwarded = true;
+    }
+    caches_[s]->invalidate(line);
+    ++stats_.invalidations;
+  }
+  if (st == LineState::kShared) {
+    // Upgrade in place: we already have the data.
+    cache.count_hit();
+    ++stats_.hits;
+    result.hit = true;
+    cache.fill(line, LineState::kModified);
+    return result;
+  }
+  cache.count_miss();
+  ++stats_.misses;
+  if (!forwarded) {
+    if (!sharers.empty()) {
+      ++stats_.cache_to_cache;  // clean copy forwarded, then invalidated
+    } else {
+      ++stats_.memory_fetches;
+    }
+  }
+  const CacheAccess fill = cache.fill(line, LineState::kModified);
+  if (fill.writeback) ++stats_.writebacks;
+  return result;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,79 @@
+// Coherence domain: MESI protocol over a set of caches.
+//
+// Two flavours, matching the paper's architectural argument (§2, §4.1):
+//  * kSnoopBroadcast — every miss/upgrade broadcasts to all other caches in
+//    the domain; message count grows with domain size. This is the
+//    "global cache coherence protocol" the paper says cannot scale.
+//  * kDirectory — a directory tracks sharers; messages go only to actual
+//    sharers, but the directory itself serialises and still spans the
+//    machine in the global-coherence baseline.
+//
+// UNIMEM does not appear here: it *eliminates* the global domain by making
+// each page cacheable at exactly one node, so a UNIMEM system instantiates
+// one small CoherenceDomain per node and routes remote accesses to the
+// owner (see src/unimem).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "memory/cache.h"
+
+namespace ecoscale {
+
+enum class CoherenceMode { kSnoopBroadcast, kDirectory };
+
+struct CoherenceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t snoop_messages = 0;     // probes + responses
+  std::uint64_t invalidations = 0;
+  std::uint64_t cache_to_cache = 0;     // dirty data forwarded
+  std::uint64_t memory_fetches = 0;
+  std::uint64_t writebacks = 0;
+};
+
+struct CoherenceAccess {
+  bool hit = false;
+  std::uint64_t snoop_messages = 0;  // messages this access generated
+};
+
+class CoherenceDomain {
+ public:
+  CoherenceDomain(std::vector<Cache*> caches, CoherenceMode mode)
+      : caches_(std::move(caches)), mode_(mode) {
+    ECO_CHECK(!caches_.empty());
+  }
+
+  std::size_t size() const { return caches_.size(); }
+  CoherenceMode mode() const { return mode_; }
+
+  /// Perform a read by cache `who` to byte address `addr`.
+  CoherenceAccess read(std::size_t who, std::uint64_t addr);
+
+  /// Perform a write by cache `who` to byte address `addr`.
+  CoherenceAccess write(std::size_t who, std::uint64_t addr);
+
+  const CoherenceStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return caches_.front()->line_of(addr);
+  }
+  /// Sharers of a line other than `who` that actually hold it.
+  std::vector<std::size_t> holders(std::uint64_t line, std::size_t who) const;
+  /// Messages needed to probe: broadcast probes everyone; directory knows.
+  std::uint64_t probe_cost(std::size_t actual_holders) const;
+
+  std::vector<Cache*> caches_;
+  CoherenceMode mode_;
+  CoherenceStats stats_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,60 @@
+// Off-chip DRAM channel model (one per Worker, paper Figure 4).
+//
+// Timing: fixed access latency plus bandwidth-limited burst transfer on a
+// contention timeline. Energy: per-byte access energy plus activation cost
+// per row-buffer miss (approximated by a per-access constant for shape-level
+// fidelity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/energy.h"
+#include "common/units.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+
+struct DramConfig {
+  SimDuration access_latency = nanoseconds(60);
+  Bandwidth bandwidth = Bandwidth::from_gib_per_s(12.8);
+  double pj_per_byte = 20.0;       // off-chip DRAM access energy
+  double pj_per_access = 1000.0;   // activation/precharge share
+};
+
+struct DramResult {
+  SimTime finish = 0;
+  Picojoules energy = 0.0;
+};
+
+class DramChannel {
+ public:
+  explicit DramChannel(std::string name, DramConfig config = {})
+      : timeline_(std::move(name)), config_(config) {}
+
+  /// A burst of `bytes` issued at `ready`; returns completion time.
+  DramResult access(SimTime ready, Bytes bytes) {
+    const SimDuration burst = config_.bandwidth.transfer_time(bytes);
+    const SimTime start = timeline_.reserve(ready, burst);
+    DramResult r;
+    r.finish = start + config_.access_latency + burst;
+    r.energy = config_.pj_per_byte * static_cast<double>(bytes) +
+               config_.pj_per_access;
+    bytes_ += bytes;
+    energy_.charge("dram.access", r.energy);
+    return r;
+  }
+
+  Bytes bytes_transferred() const { return bytes_; }
+  const EnergyMeter& energy() const { return energy_; }
+  const CalendarTimeline& timeline() const { return timeline_; }
+  const DramConfig& config() const { return config_; }
+
+ private:
+  CalendarTimeline timeline_;
+  DramConfig config_;
+  Bytes bytes_ = 0;
+  EnergyMeter energy_;
+};
+
+}  // namespace ecoscale

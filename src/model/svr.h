@@ -1,0 +1,72 @@
+// Online support-vector regression via the Passive-Aggressive algorithm
+// (PA-I with epsilon-insensitive loss) — the "SVM technique" in the
+// paper's model-building toolbox (§4.2). Compared with ridge regression it
+// is robust to the occasional wild outlier (a task that hit a cold cache
+// or a reconfiguration stall) because updates are capped by C.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+class PassiveAggressiveRegressor {
+ public:
+  /// `epsilon`: width of the insensitive tube (absolute error tolerated);
+  /// `aggressiveness`: PA-I cap C on the per-step update.
+  PassiveAggressiveRegressor(std::size_t dims, double epsilon = 1.0,
+                             double aggressiveness = 0.1)
+      : weights_(dims, 0.0), epsilon_(epsilon), c_(aggressiveness) {
+    ECO_CHECK(dims >= 1);
+    ECO_CHECK(epsilon >= 0);
+    ECO_CHECK(aggressiveness > 0);
+  }
+
+  std::size_t dims() const { return weights_.size(); }
+  std::size_t observations() const { return n_; }
+
+  double predict(std::span<const double> x) const {
+    ECO_CHECK(x.size() == weights_.size());
+    double y = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) y += weights_[i] * x[i];
+    return y;
+  }
+
+  void observe(std::span<const double> x, double target) {
+    ECO_CHECK(x.size() == weights_.size());
+    const double pred = predict(x);
+    if (n_ > 0) abs_err_sum_ += std::abs(pred - target);
+    ++n_;
+    const double err = target - pred;
+    const double loss = std::abs(err) - epsilon_;
+    if (loss <= 0) return;  // inside the tube: passive
+    double norm2 = 0.0;
+    for (const double v : x) norm2 += v * v;
+    if (norm2 <= 0) return;
+    // PA-I: tau capped at C.
+    const double tau = std::min(c_, loss / norm2);
+    const double sign = err > 0 ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      weights_[i] += sign * tau * x[i];
+    }
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double mean_abs_error() const {
+    return n_ > 1 ? abs_err_sum_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+ private:
+  std::vector<double> weights_;
+  double epsilon_;
+  double c_;
+  std::size_t n_ = 0;
+  double abs_err_sum_ = 0.0;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,179 @@
+#include "mpi/graph_topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecoscale {
+
+GraphTopology::GraphTopology(std::vector<std::vector<Edge>> adjacency)
+    : adjacency_(std::move(adjacency)) {
+  ECO_CHECK(!adjacency_.empty());
+  for (const auto& list : adjacency_) {
+    for (const auto& e : list) {
+      ECO_CHECK_MSG(e.to < adjacency_.size(), "edge to unknown rank");
+      ECO_CHECK(e.weight > 0);
+    }
+    edges_ += list.size();
+  }
+}
+
+const std::vector<GraphTopology::Edge>& GraphTopology::neighbors(
+    std::size_t rank) const {
+  ECO_CHECK(rank < adjacency_.size());
+  return adjacency_[rank];
+}
+
+double GraphTopology::mapping_cost(std::span<const std::size_t> perm,
+                                   std::size_t ranks_per_node,
+                                   double inter_node_penalty) const {
+  ECO_CHECK(perm.size() == adjacency_.size());
+  ECO_CHECK(ranks_per_node >= 1);
+  double cost = 0.0;
+  for (std::size_t r = 0; r < adjacency_.size(); ++r) {
+    for (const auto& e : adjacency_[r]) {
+      const std::size_t a = perm[r];
+      const std::size_t b = perm[e.to];
+      const bool same_node = a / ranks_per_node == b / ranks_per_node;
+      const double dist =
+          same_node ? 1.0 : inter_node_penalty;
+      cost += e.weight * dist;
+    }
+  }
+  return cost;
+}
+
+std::vector<std::size_t> GraphTopology::reorder(
+    std::size_t ranks_per_node) const {
+  ECO_CHECK(ranks_per_node >= 1);
+  const std::size_t n = adjacency_.size();
+  // Start from the vertex with the heaviest incident weight; grow a BFS
+  // front ordered by connection weight into the current placement.
+  std::vector<double> incident(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& e : adjacency_[r]) {
+      incident[r] += e.weight;
+      incident[e.to] += e.weight;
+    }
+  }
+  std::vector<bool> placed(n, false);
+  std::vector<double> attraction(n, 0.0);  // weight into placed set
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    // Seed: heaviest unplaced vertex; subsequent picks: strongest
+    // attraction to the placed set (ties by incident weight, then id).
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      if (best == n || attraction[v] > attraction[best] ||
+          (attraction[v] == attraction[best] &&
+           incident[v] > incident[best])) {
+        best = v;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    for (const auto& e : adjacency_[best]) {
+      if (!placed[e.to]) attraction[e.to] += e.weight;
+    }
+    // Incoming edges attract too.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      for (const auto& e : adjacency_[v]) {
+        if (e.to == best) attraction[v] += e.weight;
+      }
+    }
+  }
+  std::vector<std::size_t> perm(n);
+  for (std::size_t pos = 0; pos < n; ++pos) perm[order[pos]] = pos;
+  return perm;
+}
+
+CollectiveResult neighbor_alltoall(MpiWorld& world, const GraphTopology& graph,
+                                   Bytes bytes,
+                                   std::span<const SimTime> arrivals,
+                                   std::span<const std::size_t> perm,
+                                   std::size_t ranks_per_node) {
+  ECO_CHECK(world.size() >= graph.size());
+  ECO_CHECK(arrivals.size() == graph.size());
+  ECO_CHECK(perm.empty() || perm.size() == graph.size());
+  CollectiveResult result;
+  std::vector<SimTime> done(arrivals.begin(), arrivals.end());
+  auto pos = [&](std::size_t r) { return perm.empty() ? r : perm[r]; };
+  for (std::size_t r = 0; r < graph.size(); ++r) {
+    for (const auto& e : graph.neighbors(r)) {
+      const bool same_node =
+          pos(r) / ranks_per_node == pos(e.to) / ranks_per_node;
+      if (same_node) {
+        // Intra-node neighbour: UNIMEM-style direct store, no MPI stack.
+        // Cost model: a cheap fixed latency plus local bandwidth.
+        const SimTime t = arrivals[r] + microseconds(1) +
+                          Bandwidth::from_gib_per_s(16.0).transfer_time(bytes);
+        done[e.to] = std::max(done[e.to], t);
+      } else {
+        const auto m = world.send(pos(r) % world.size(),
+                                  pos(e.to) % world.size(), bytes,
+                                  arrivals[r]);
+        done[e.to] = std::max(done[e.to], m.delivered);
+        ++result.messages;
+        result.bytes_on_wire += bytes;
+        result.energy += m.energy;
+      }
+    }
+  }
+  result.per_rank = done;
+  result.finish = *std::max_element(done.begin(), done.end());
+  return result;
+}
+
+GraphTopology make_ring_graph(std::size_t ranks) {
+  ECO_CHECK(ranks >= 2);
+  std::vector<std::vector<GraphTopology::Edge>> adj(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    adj[r].push_back({(r + 1) % ranks, 1.0});
+    adj[r].push_back({(r + ranks - 1) % ranks, 1.0});
+  }
+  return GraphTopology(std::move(adj));
+}
+
+GraphTopology make_stencil_graph(std::size_t cols, std::size_t rows) {
+  ECO_CHECK(cols >= 1 && rows >= 1);
+  std::vector<std::vector<GraphTopology::Edge>> adj(cols * rows);
+  auto id = [cols](std::size_t x, std::size_t y) { return y * cols + x; };
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      if (x + 1 < cols) {
+        adj[id(x, y)].push_back({id(x + 1, y), 1.0});
+        adj[id(x + 1, y)].push_back({id(x, y), 1.0});
+      }
+      if (y + 1 < rows) {
+        adj[id(x, y)].push_back({id(x, y + 1), 1.0});
+        adj[id(x, y + 1)].push_back({id(x, y), 1.0});
+      }
+    }
+  }
+  return GraphTopology(std::move(adj));
+}
+
+GraphTopology make_irregular_graph(std::size_t ranks, std::size_t degree,
+                                   std::uint64_t seed) {
+  ECO_CHECK(ranks >= 2);
+  Rng rng(seed);
+  std::vector<std::vector<GraphTopology::Edge>> adj(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      std::size_t peer = rng.uniform_u64(ranks);
+      if (peer == r) peer = (peer + 1) % ranks;
+      // Skewed weights: some edges are much hotter.
+      const double w = 1.0 + std::floor(rng.exponential(2.0));
+      adj[r].push_back({peer, w});
+    }
+  }
+  return GraphTopology(std::move(adj));
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,73 @@
+// MPI-3 distributed graph topology (paper §4.4: "The programming model for
+// expressing hierarchical data partitioning will start from the widely
+// used MPI-3.0 standard, leveraging the new topology abstractions.").
+//
+// Alongside CartTopology this provides the irregular-application side:
+// arbitrary neighbour lists, neighbourhood collectives, and a
+// topology-aware rank reordering that maps heavy edges onto close ranks —
+// the "hierarchical and topological partitioning" of §2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "mpi/mpi.h"
+
+namespace ecoscale {
+
+class GraphTopology {
+ public:
+  /// Build from per-rank neighbour lists (directed edges; use both
+  /// directions for symmetric stencils). Edge weights express traffic
+  /// intensity for the mapping optimisation.
+  struct Edge {
+    std::size_t to = 0;
+    double weight = 1.0;
+  };
+
+  explicit GraphTopology(std::vector<std::vector<Edge>> adjacency);
+
+  std::size_t size() const { return adjacency_.size(); }
+  const std::vector<Edge>& neighbors(std::size_t rank) const;
+  std::size_t edge_count() const { return edges_; }
+
+  /// Total traffic-weighted distance of this topology when rank r is
+  /// placed at position perm[r] of a machine whose distance function is
+  /// |a - b| within a node-sized block and `inter_node_penalty` across
+  /// blocks (the tree-distance proxy).
+  double mapping_cost(std::span<const std::size_t> perm,
+                      std::size_t ranks_per_node,
+                      double inter_node_penalty = 8.0) const;
+
+  /// Greedy topology-aware reordering: BFS from the heaviest vertex,
+  /// packing connected ranks into the same node-sized block (the
+  /// "hierarchical partitioning" heuristic of §2 refs [3][4]).
+  /// Returns perm with perm[rank] = machine position.
+  std::vector<std::size_t> reorder(std::size_t ranks_per_node) const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+/// Neighbourhood collective: every rank exchanges `bytes` with each of its
+/// graph neighbours (MPI_Neighbor_alltoall). Ranks are placed by `perm`
+/// (identity if empty) on a machine of `ranks_per_node`-rank nodes:
+/// intra-node neighbour traffic uses the cheap path, inter-node pays MPI.
+CollectiveResult neighbor_alltoall(MpiWorld& world, const GraphTopology& graph,
+                                   Bytes bytes,
+                                   std::span<const SimTime> arrivals,
+                                   std::span<const std::size_t> perm = {},
+                                   std::size_t ranks_per_node = 1);
+
+/// Convenience builders.
+GraphTopology make_ring_graph(std::size_t ranks);
+GraphTopology make_stencil_graph(std::size_t cols, std::size_t rows);
+/// Random irregular graph (degree ~ `degree`), the PGAS-motivated case.
+GraphTopology make_irregular_graph(std::size_t ranks, std::size_t degree,
+                                   std::uint64_t seed);
+
+}  // namespace ecoscale

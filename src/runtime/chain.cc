@@ -1,0 +1,99 @@
+#include "runtime/chain.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+namespace {
+
+double total_ops(std::span<const KernelIR> kernels, std::uint64_t items) {
+  double ops = 0.0;
+  for (const auto& k : kernels) {
+    ops += static_cast<double>(k.ops.total()) * static_cast<double>(items);
+  }
+  return ops;
+}
+
+}  // namespace
+
+ChainRun run_chained(Worker& worker, std::span<const AcceleratorModule> stages,
+                     const std::span<const KernelIR> kernels,
+                     std::uint64_t items, SimTime now) {
+  ECO_CHECK(!stages.empty());
+  ECO_CHECK(stages.size() == kernels.size());
+  ChainRun run;
+  run.start = now;
+  // All stages must be resident simultaneously.
+  SimTime ready = now;
+  for (const auto& stage : stages) {
+    const auto load = worker.fabric().ensure_loaded(stage, now);
+    if (!load) {
+      run.fits = false;
+      return run;
+    }
+    ready = std::max(ready, load->ready);
+  }
+  // Fused pipeline: the chain issues at the slowest stage's II; latency is
+  // the sum of stage depths. Intermediates stay in on-fabric FIFOs.
+  SimDuration worst_ii_time = 0;
+  SimDuration depth_time = 0;
+  Picojoules dynamic = 0.0;
+  for (const auto& stage : stages) {
+    const SimDuration cycle = stage.cycle_time();
+    worst_ii_time = std::max(worst_ii_time,
+                             stage.initiation_interval * cycle);
+    depth_time += stage.pipeline_depth * cycle;
+    dynamic += stage.compute_energy(items);
+  }
+  const SimDuration compute =
+      depth_time + (items > 0 ? (items - 1) * worst_ii_time : 0);
+  // External I/O only: first stage input, last stage output.
+  const Bytes dram = items * (stages.front().bytes_in_per_item +
+                              stages.back().bytes_out_per_item);
+  const SimDuration stream =
+      worker.config().accel_mem_bw.transfer_time(dram);
+  run.finish = ready + std::max(compute, stream);
+  run.dram_bytes = dram;
+  run.energy = dynamic + worker.config().accel_mem_pj_per_byte *
+                             static_cast<double>(dram);
+  run.ops_per_dram_byte =
+      dram ? total_ops(kernels, items) / static_cast<double>(dram) : 0.0;
+  // Mark every stage busy for the duration.
+  for (const auto& stage : stages) {
+    if (auto region = worker.fabric().region_of(stage.kernel)) {
+      worker.fabric().set_busy_until(*region, run.finish);
+    }
+  }
+  return run;
+}
+
+ChainRun run_staged(Worker& worker, std::span<const AcceleratorModule> stages,
+                    const std::span<const KernelIR> kernels,
+                    std::uint64_t items, SimTime now) {
+  ECO_CHECK(!stages.empty());
+  ECO_CHECK(stages.size() == kernels.size());
+  ChainRun run;
+  run.start = now;
+  SimTime t = now;
+  for (const auto& stage : stages) {
+    const auto exec = worker.run_hardware(stage, items, t);
+    if (!exec) {
+      run.fits = false;
+      return run;
+    }
+    t = exec->finish;
+    run.energy += exec->energy;
+    run.dram_bytes +=
+        items * (stage.bytes_in_per_item + stage.bytes_out_per_item);
+  }
+  run.finish = t;
+  run.ops_per_dram_byte =
+      run.dram_bytes
+          ? total_ops(kernels, items) / static_cast<double>(run.dram_bytes)
+          : 0.0;
+  return run;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,43 @@
+// Accelerator chaining (paper §4.3).
+//
+// "…we consider chaining together different accelerator modules for
+// building longer complex processing pipelines, when needed. This will
+// substantially increase the amount of processing that is carried out per
+// unit of transferred data and will consequently result in substantial
+// energy savings."
+//
+// run_chained(): all stages are resident on one fabric with on-fabric FIFOs
+// between them — DRAM sees only the chain's external input and output.
+// run_staged(): the baseline — each stage reads its input from DRAM and
+// writes its output back, so intermediate data crosses the memory interface
+// twice per boundary.
+#pragma once
+
+#include <span>
+
+#include "common/units.h"
+#include "worker/worker.h"
+
+namespace ecoscale {
+
+struct ChainRun {
+  SimTime start = 0;
+  SimTime finish = 0;
+  Bytes dram_bytes = 0;       // bytes that crossed the memory interface
+  Picojoules energy = 0.0;
+  bool fits = true;           // false if the chain could not be placed
+  double ops_per_dram_byte = 0.0;  // the paper's "processing per unit of
+                                   // transferred data"
+};
+
+/// Execute `stages` as one fused on-fabric pipeline over `items` items.
+ChainRun run_chained(Worker& worker, std::span<const AcceleratorModule> stages,
+                     const std::span<const KernelIR> kernels,
+                     std::uint64_t items, SimTime now);
+
+/// Execute `stages` one at a time with DRAM round-trips between stages.
+ChainRun run_staged(Worker& worker, std::span<const AcceleratorModule> stages,
+                    const std::span<const KernelIR> kernels,
+                    std::uint64_t items, SimTime now);
+
+}  // namespace ecoscale

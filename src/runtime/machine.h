@@ -1,0 +1,83 @@
+// The full simulated ECOSCALE machine: Compute Nodes of Workers over a
+// UNIMEM PGAS, UNILOGIC fabric pools per node, and an MPI world joining the
+// nodes (paper Figure 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "mpi/mpi.h"
+#include "unilogic/pool.h"
+#include "unimem/pgas.h"
+#include "worker/worker.h"
+
+namespace ecoscale {
+
+struct MachineConfig {
+  std::size_t nodes = 2;
+  std::size_t workers_per_node = 4;
+  PgasConfig pgas;       // nodes/workers fields are overwritten from above
+  WorkerConfig worker;
+  MpiConfig mpi;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {}) : config_(config) {
+    ECO_CHECK(config_.nodes >= 1 && config_.workers_per_node >= 1);
+    config_.pgas.nodes = config_.nodes;
+    config_.pgas.workers_per_node = config_.workers_per_node;
+    pgas_ = std::make_unique<PgasSystem>(config_.pgas);
+    mpi_ = std::make_unique<MpiWorld>(config_.nodes, config_.mpi);
+    workers_.reserve(worker_count());
+    for (std::size_t i = 0; i < worker_count(); ++i) {
+      workers_.push_back(
+          std::make_unique<Worker>(pgas_->coord(i), config_.worker));
+    }
+    pools_.reserve(config_.nodes);
+    for (std::size_t n = 0; n < config_.nodes; ++n) {
+      std::vector<Worker*> node_workers;
+      for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+        node_workers.push_back(
+            workers_[n * config_.workers_per_node + w].get());
+      }
+      pools_.push_back(std::make_unique<UnilogicPool>(
+          std::move(node_workers), pgas_->network(),
+          n * config_.workers_per_node));
+    }
+  }
+
+  std::size_t node_count() const { return config_.nodes; }
+  std::size_t workers_per_node() const { return config_.workers_per_node; }
+  std::size_t worker_count() const {
+    return config_.nodes * config_.workers_per_node;
+  }
+
+  Worker& worker(std::size_t flat) { return *workers_[flat]; }
+  Worker& worker(WorkerCoord c) { return *workers_[pgas_->flat(c)]; }
+  UnilogicPool& pool(NodeId node) { return *pools_[node]; }
+  PgasSystem& pgas() { return *pgas_; }
+  MpiWorld& mpi() { return *mpi_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Total energy across every component (workers, PGAS, MPI, pools).
+  Picojoules total_energy() const {
+    Picojoules total = pgas_->energy().total() + mpi_->energy().total();
+    for (const auto& w : workers_) {
+      total += w->energy().total() + w->cpu().energy().total() +
+               w->fabric().energy().total() + w->smmu().energy();
+    }
+    for (const auto& p : pools_) total += p->energy().total();
+    return total;
+  }
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<PgasSystem> pgas_;
+  std::unique_ptr<MpiWorld> mpi_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<UnilogicPool>> pools_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,109 @@
+#include "runtime/numa_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+bool NumaManager::has_replica(PageId page, NodeId node) const {
+  auto it = pages_.find(page);
+  return it != pages_.end() && it->second.replicas.contains(node);
+}
+
+MemAccess NumaManager::load(WorkerCoord who, GlobalAddress addr, Bytes size,
+                            SimTime now) {
+  return access(who, addr, size, /*write=*/false, now);
+}
+
+MemAccess NumaManager::store(WorkerCoord who, GlobalAddress addr, Bytes size,
+                             SimTime now) {
+  return access(who, addr, size, /*write=*/true, now);
+}
+
+MemAccess NumaManager::access(WorkerCoord who, GlobalAddress addr, Bytes size,
+                              bool write, SimTime now) {
+  const PageId page = page_of(addr);
+  PageState& state = pages_[page];
+  const auto owner = pgas_.directory().owner(page);
+  ECO_CHECK_MSG(owner.has_value(), "access to unregistered page");
+  const bool remote = *owner != who.node;
+
+  // --- replication fast path: remote read served by a local replica.
+  if (config_.policy == NumaPolicy::kReplicateReadMostly && !write &&
+      remote && state.replicas.contains(who.node)) {
+    ++stats_.replica_hits;
+    MemAccess r;
+    r.finish = now + config_.replica_read_latency;
+    r.energy = config_.replica_read_energy;
+    r.remote = false;  // served locally
+    r.cache_hit = false;
+    return r;
+  }
+
+  // --- writes invalidate replicas before they take effect.
+  if (config_.policy == NumaPolicy::kReplicateReadMostly && write &&
+      !state.replicas.empty()) {
+    SimTime inval_done = now;
+    for (const NodeId replica : state.replicas) {
+      Packet p{PacketType::kCoherence, who, WorkerCoord{replica, 0}, 16};
+      const auto t = pgas_.network().send(
+          pgas_.flat(who), pgas_.flat(WorkerCoord{replica, 0}), p, now);
+      inval_done = std::max(inval_done, t.arrival);
+      stats_.policy_energy += t.energy;
+      ++stats_.invalidations;
+    }
+    state.replicas.clear();
+    state.remote_reads_since_write.clear();
+    now = inval_done;
+  }
+
+  const auto result = write ? pgas_.store(who, addr, size, now)
+                            : pgas_.load(who, addr, size, now);
+
+  if (!remote) return result;
+  // --- bookkeeping on remote accesses.
+  ++state.remote_accesses[who.node];
+  if (!write) {
+    ++state.remote_reads_since_write[who.node];
+  } else {
+    state.remote_reads_since_write.clear();
+  }
+
+  switch (config_.policy) {
+    case NumaPolicy::kStaticHome:
+      break;
+    case NumaPolicy::kMigrateOnHot: {
+      const std::uint32_t mine = state.remote_accesses[who.node];
+      if (mine >= config_.migrate_threshold) {
+        const auto mig = pgas_.migrate_page(page, who.node, result.finish);
+        stats_.policy_energy += mig.energy;
+        ++stats_.migrations;
+        state.remote_accesses.clear();
+        MemAccess r = result;
+        // The access itself already completed; the migration proceeds in
+        // the background (its cost shows in policy_energy and in later
+        // accesses' improved locality).
+        return r;
+      }
+      break;
+    }
+    case NumaPolicy::kReplicateReadMostly: {
+      if (!write && state.remote_reads_since_write[who.node] >=
+                        config_.replicate_threshold) {
+        // Ship a page copy to the reader's node.
+        Packet p{PacketType::kDma, WorkerCoord{*owner, 0}, who, kPageSize};
+        const auto t = pgas_.network().send(
+            pgas_.flat(WorkerCoord{*owner, 0}), pgas_.flat(who), p,
+            result.finish);
+        stats_.policy_energy += t.energy;
+        state.replicas.insert(who.node);
+        ++stats_.replicas_created;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ecoscale

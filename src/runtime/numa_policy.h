@@ -1,0 +1,82 @@
+// NUMA policies over UNIMEM (paper §4.4): "We will explore topology-aware
+// global memory allocators in these domains, to be used by the OpenCL
+// runtime for implicit data allocation, migration and replication between
+// workers."
+//
+// The NumaManager wraps a PgasSystem's access path, tracks per-page access
+// origins, and applies one of three policies:
+//  * kStaticHome          — pages stay where allocated (baseline).
+//  * kMigrateOnHot        — a page whose remote accesses from one node
+//                           dominate is migrated there (UNIMEM ownership
+//                           flip, §4.1's page migration).
+//  * kReplicateReadMostly — read-mostly pages get per-node read replicas;
+//                           writes invalidate all replicas and go to the
+//                           owner (classic read-replication with
+//                           write-invalidate, safe because UNIMEM already
+//                           serialises writes at the owner).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/units.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+
+enum class NumaPolicy { kStaticHome, kMigrateOnHot, kReplicateReadMostly };
+
+struct NumaConfig {
+  NumaPolicy policy = NumaPolicy::kStaticHome;
+  /// kMigrateOnHot: migrate when one node's remote accesses to a page
+  /// exceed this count and outnumber the owner's by 2x.
+  std::uint32_t migrate_threshold = 16;
+  /// kReplicateReadMostly: replicate to a node after this many remote
+  /// reads with no intervening write.
+  std::uint32_t replicate_threshold = 8;
+  /// Replica read latency/energy ≈ local DRAM at the reader's node.
+  SimDuration replica_read_latency = nanoseconds(70);
+  Picojoules replica_read_energy = 170.0;
+};
+
+struct NumaStats {
+  std::uint64_t migrations = 0;
+  std::uint64_t replicas_created = 0;
+  std::uint64_t replica_hits = 0;
+  std::uint64_t invalidations = 0;  // replica invalidations by writes
+  Picojoules policy_energy = 0.0;   // migration/replication transfer cost
+};
+
+class NumaManager {
+ public:
+  NumaManager(PgasSystem& pgas, NumaConfig config = {})
+      : pgas_(pgas), config_(config) {}
+
+  /// Access through the policy layer. Semantics match PgasSystem::load /
+  /// store, plus the policy's bookkeeping and actions.
+  MemAccess load(WorkerCoord who, GlobalAddress addr, Bytes size,
+                 SimTime now);
+  MemAccess store(WorkerCoord who, GlobalAddress addr, Bytes size,
+                  SimTime now);
+
+  const NumaStats& stats() const { return stats_; }
+  bool has_replica(PageId page, NodeId node) const;
+
+ private:
+  struct PageState {
+    std::map<NodeId, std::uint32_t> remote_accesses;
+    std::map<NodeId, std::uint32_t> remote_reads_since_write;
+    std::set<NodeId> replicas;
+  };
+
+  MemAccess access(WorkerCoord who, GlobalAddress addr, Bytes size,
+                   bool write, SimTime now);
+
+  PgasSystem& pgas_;
+  NumaConfig config_;
+  std::map<PageId, PageState> pages_;
+  NumaStats stats_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,133 @@
+#include "runtime/resilience.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+namespace {
+
+/// Pre-sampled Poisson failure times for one worker over a generous
+/// horizon.
+std::vector<SimTime> sample_failures(Rng& rng, double per_second,
+                                     SimTime horizon) {
+  std::vector<SimTime> out;
+  if (per_second <= 0) return out;
+  const double mean_gap_ps = 1e12 / per_second;
+  double t = 0;
+  while (true) {
+    t += rng.exponential(mean_gap_ps);
+    if (t >= static_cast<double>(horizon)) break;
+    out.push_back(static_cast<SimTime>(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilienceOutcome run_with_failures(const std::vector<ResilientTask>& tasks,
+                                    const ResilienceConfig& config) {
+  ECO_CHECK(config.workers >= 1);
+  Rng rng(config.seed);
+  // Generous horizon: serial execution time × 4 (failures included).
+  SimDuration serial = 0;
+  for (const auto& t : tasks) serial += t.duration;
+  const SimTime horizon = 4 * serial + milliseconds(10);
+  std::vector<std::vector<SimTime>> failures(config.workers);
+  std::vector<std::size_t> next_failure(config.workers, 0);
+  for (auto& f : failures) {
+    f = sample_failures(rng, config.failures_per_second, horizon);
+  }
+
+  std::vector<SimTime> free_at(config.workers, 0);
+  std::deque<ResilientTask> queue(tasks.begin(), tasks.end());
+  ResilienceOutcome out;
+
+  while (!queue.empty()) {
+    ResilientTask task = queue.front();
+    queue.pop_front();
+    // Least-loaded (earliest-free) worker.
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < config.workers; ++i) {
+      if (free_at[i] < free_at[w]) w = i;
+    }
+    const SimTime start = free_at[w];
+    const SimTime would_finish = start + task.duration;
+    // First failure of w inside (start, would_finish)?
+    auto& fi = next_failure[w];
+    while (fi < failures[w].size() && failures[w][fi] <= start) ++fi;
+    if (fi < failures[w].size() && failures[w][fi] < would_finish) {
+      // Crash mid-task.
+      const SimTime crash = failures[w][fi];
+      ++fi;
+      ++out.failures;
+      const double progress_ns = to_nanoseconds(crash - start);
+      out.wasted_energy += task.energy_pj_per_ns * progress_ns;
+      free_at[w] = crash + config.repair_time;
+      out.makespan = std::max(out.makespan, free_at[w]);
+      if (config.reexecute) {
+        ++out.reexecutions;
+        // Detection delays re-queue; restart from scratch.
+        ResilientTask retry = task;
+        queue.push_back(retry);
+        // All other workers keep running; account the detection point so
+        // makespan cannot end before it.
+        out.makespan = std::max(out.makespan, crash + config.detect_timeout);
+      } else {
+        ++out.lost;
+      }
+      continue;
+    }
+    // Clean completion.
+    free_at[w] = would_finish;
+    ++out.completed;
+    out.useful_energy +=
+        task.energy_pj_per_ns * to_nanoseconds(task.duration);
+    out.makespan = std::max(out.makespan, would_finish);
+    ECO_CHECK_MSG(out.makespan < horizon,
+                  "resilience run exceeded sampling horizon");
+  }
+  return out;
+}
+
+ScrubOutcome scrubbing_policy(SimDuration scrub_period, double seu_per_second,
+                              std::uint64_t calls, SimTime horizon,
+                              SimDuration reload_time, std::uint64_t seed) {
+  ECO_CHECK(calls > 0 && horizon > 0);
+  Rng rng(seed ^ 0x5eed);
+  const auto seus = sample_failures(rng, seu_per_second, horizon);
+  ScrubOutcome out;
+  const SimDuration call_gap = horizon / calls;
+  const bool scrubbing = scrub_period > 0;
+  bool corrupted = false;
+  std::size_t next_seu = 0;
+  SimTime next_scrub = scrubbing ? scrub_period : horizon + 1;
+  for (std::uint64_t c = 0; c < calls; ++c) {
+    const SimTime now = static_cast<SimTime>(c) * call_gap;
+    // Replay SEU and scrub events up to this call in time order: a scrub
+    // after an SEU repairs it; an SEU after the last scrub corrupts.
+    for (;;) {
+      const SimTime seu_t =
+          next_seu < seus.size() ? seus[next_seu] : horizon + 1;
+      const SimTime scrub_t = next_scrub;
+      if (seu_t > now && scrub_t > now) break;
+      if (seu_t <= scrub_t) {
+        corrupted = true;
+        ++next_seu;
+      } else {
+        corrupted = false;
+        ++out.scrub_passes;
+        out.overhead += reload_time;
+        next_scrub += scrub_period;
+      }
+    }
+    if (corrupted) ++out.corrupted_calls;
+  }
+  out.corrupted_fraction = static_cast<double>(out.corrupted_calls) /
+                           static_cast<double>(calls);
+  return out;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,156 @@
+// The ECOSCALE runtime scheduler (paper §4.2, Figure 5).
+//
+// "We will implement one scheduler per worker, which will manage the local
+// reconfigurable blocks and the execution of the accelerated functions.
+// Whenever a function is called, a work and data distribution algorithm…
+// will decide whether the function will be executed in software or in
+// hardware based on the local status and the status of other Workers in
+// the vicinity. To curb the overhead of monitoring remote status, we will
+// implement local work queues per worker and infer (approximately) the
+// status of remote workers via the status of the local queue, using
+// techniques inspired by Lazy Scheduling."
+//
+// Two orthogonal policy axes are modelled:
+//  * PlacementPolicy  — SW vs. HW per task (always-SW / always-HW /
+//    size-threshold / model-based on the learned CostPredictor).
+//  * DistributionPolicy — which worker's queue a task lands in
+//    (home-only / lazy local-queue spill / centralized dispatcher /
+//    poll-everyone oracle).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "model/predictor.h"
+#include "runtime/daemon.h"
+#include "runtime/machine.h"
+#include "runtime/task.h"
+#include "sim/simulator.h"
+
+namespace ecoscale {
+
+enum class PlacementPolicy {
+  kAlwaysSoftware,
+  kAlwaysHardware,
+  kSizeThreshold,   // HW iff items >= threshold
+  kModelBased,      // argmin over predicted objective
+};
+
+enum class DistributionPolicy {
+  kHomeOnly,        // no balancing at all
+  kLazyLocal,       // spill to a neighbour only when the local queue is deep
+  kCentralized,     // one global dispatcher with perfect info
+  kPollLeastLoaded, // per-task polling of every worker (perfect info, costly)
+};
+
+enum class Objective { kTime, kEnergy, kEnergyDelay };
+
+struct RuntimeConfig {
+  PlacementPolicy placement = PlacementPolicy::kModelBased;
+  DistributionPolicy distribution = DistributionPolicy::kLazyLocal;
+  Objective objective = Objective::kTime;
+  std::uint64_t size_threshold = 4096;   // items, for kSizeThreshold
+  std::size_t spill_depth = 4;           // lazy: queue depth that spills
+  std::size_t max_spill_hops = 3;        // lazy: cascade limit per task
+  bool share_fabric = true;              // UNILOGIC on/off
+  SimDuration dispatcher_service = microseconds(2);  // centralized cost
+  SimDuration poll_cost = microseconds(1);           // per polled worker
+  /// Run a per-worker reconfiguration daemon (history-driven prefetch,
+  /// §4.2): ticks opportunistically at dispatch points.
+  bool enable_daemon = false;
+  DaemonConfig daemon;
+  /// Worker failure injection (abstract's resilience claim): Poisson
+  /// crashes per worker; a crash loses the running task's progress and
+  /// takes the worker down for repair_time, after which the task
+  /// re-executes from scratch. 0 disables.
+  double failures_per_second = 0.0;
+  SimDuration repair_time = milliseconds(2);
+  std::uint64_t seed = 42;
+};
+
+struct RuntimeStats {
+  SimTime makespan = 0;
+  Picojoules energy = 0.0;
+  std::uint64_t sw_tasks = 0;
+  std::uint64_t hw_tasks = 0;
+  std::uint64_t remote_hw_tasks = 0;
+  std::uint64_t forwarded_tasks = 0;
+  std::uint64_t monitor_messages = 0;  // distribution-policy overhead
+  std::uint64_t worker_failures = 0;   // crashes that hit running tasks
+  std::uint64_t reexecutions = 0;
+  Samples queue_wait_ns;
+  Samples turnaround_ns;
+};
+
+class RuntimeSystem {
+ public:
+  RuntimeSystem(Machine& machine, Simulator& sim, RuntimeConfig config = {});
+
+  /// Register a kernel with its HLS-generated module variants (largest
+  /// variant that fits is chosen at load time).
+  void register_kernel(const KernelIR& kernel,
+                       std::vector<AcceleratorModule> variants);
+
+  /// Queue a task for execution at task.release.
+  void submit(const Task& task);
+
+  /// Run the simulation until all submitted tasks complete.
+  void run();
+
+  const std::vector<TaskResult>& results() const { return results_; }
+  RuntimeStats stats() const;
+  CostPredictor& predictor() { return predictor_; }
+  const RuntimeConfig& config() const { return config_; }
+  /// Daemon of a worker (nullptr unless enable_daemon).
+  ReconfigDaemon* daemon(std::size_t worker) {
+    return daemons_.empty() ? nullptr : daemons_[worker].get();
+  }
+
+ private:
+  struct WorkerState {
+    std::deque<Task> queue;
+    bool busy = false;
+  };
+
+  void arrive(std::size_t worker, Task task, int spill_hops);
+  /// Lazy cascade: the spill target for a task that finds `worker`'s queue
+  /// deep — a node neighbour first, then the sibling worker one node over.
+  std::size_t spill_target(std::size_t worker, const Task& task,
+                           int hops) const;
+  void dispatch(std::size_t worker);
+  /// Choose the queue a task should land in; returns flat worker index and
+  /// charges any monitoring/forwarding costs.
+  std::size_t route(const Task& task);
+  /// Choose SW / local HW / shared HW for a dispatched task.
+  DeviceClass place(const Task& task, std::size_t worker);
+  /// Pick the largest registered variant that can fit the worker's fabric.
+  const AcceleratorModule* choose_variant(KernelId kernel,
+                                          std::size_t worker) const;
+
+  Machine& machine_;
+  Simulator& sim_;
+  RuntimeConfig config_;
+  Rng rng_;
+  std::map<KernelId, KernelIR> kernels_;
+  std::map<KernelId, std::vector<AcceleratorModule>> variants_;
+  std::vector<WorkerState> workers_;
+  std::vector<std::unique_ptr<ReconfigDaemon>> daemons_;  // if enabled
+  std::vector<SimTime> next_daemon_tick_;
+  std::vector<SimTime> next_failure_;  // failure injection, if enabled
+  std::uint64_t failures_ = 0;
+  std::uint64_t reexecutions_ = 0;
+  Timeline dispatcher_{"dispatcher"};  // centralized mode serialisation
+  CostPredictor predictor_;
+  std::vector<TaskResult> results_;
+  std::map<TaskId, bool> forwarded_;
+  std::uint64_t monitor_messages_ = 0;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,42 @@
+// Task vocabulary of the runtime system.
+#pragma once
+
+#include <cstdint>
+
+#include "address/address.h"
+#include "common/units.h"
+#include "hls/ir.h"
+#include "model/predictor.h"
+
+namespace ecoscale {
+
+using TaskId = std::uint64_t;
+
+/// One kernel invocation, the unit the per-worker schedulers manage.
+struct Task {
+  TaskId id = 0;
+  KernelId kernel = 0;
+  std::uint64_t items = 0;
+  TaskFeatures features;
+  /// Preferred worker: where the task's data partition lives.
+  WorkerCoord home;
+  /// Release (arrival) time.
+  SimTime release = 0;
+};
+
+struct TaskResult {
+  TaskId id = 0;
+  SimTime release = 0;
+  SimTime started = 0;   // dispatch time (left the queue)
+  SimTime finished = 0;
+  DeviceClass device = DeviceClass::kCpu;
+  std::size_t executed_on = 0;  // flat worker index
+  Picojoules energy = 0.0;
+  bool reconfigured = false;
+  bool forwarded = false;  // left its home worker's queue
+
+  SimDuration queue_wait() const { return started - release; }
+  SimDuration turnaround() const { return finished - release; }
+};
+
+}  // namespace ecoscale

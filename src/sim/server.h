@@ -1,0 +1,77 @@
+// Event-driven FIFO server for the Simulator.
+//
+// Jobs are submitted with a service time and a completion callback; the
+// server processes them one at a time in arrival order. Used for actors
+// whose queueing dynamics matter (per-worker schedulers, config ports under
+// bursty load).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace ecoscale {
+
+class Server {
+ public:
+  using Completion = std::function<void(SimTime finish)>;
+
+  Server(Simulator& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a job. The completion callback fires at service finish.
+  void submit(SimDuration service, Completion done) {
+    queue_.push_back(Job{service, std::move(done)});
+    ++submitted_;
+    if (!busy_) start_next();
+  }
+
+  std::size_t queue_length() const { return queue_.size() + (busy_ ? 1 : 0); }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t submitted() const { return submitted_; }
+  SimDuration busy_time() const { return busy_time_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    SimDuration service;
+    Completion done;
+  };
+
+  void start_next() {
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_time_ += job.service;
+    sim_.schedule_after(job.service, [this, job = std::move(job)]() mutable {
+      ++completed_;
+      const SimTime finish = sim_.now();
+      // Start the next job before running the callback so a callback that
+      // submits more work observes a consistent queue.
+      start_next();
+      if (job.done) job.done(finish);
+    });
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,85 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a monotonic picosecond clock and a heap of pending
+// events. Ties are broken by insertion sequence number, so a run is fully
+// deterministic: the same seed and the same schedule order always produce
+// the same trace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule an action at an absolute time (must not be in the past).
+  void schedule_at(SimTime t, Action action) {
+    ECO_CHECK_MSG(t >= now_, "event scheduled in the past");
+    queue_.push(Event{t, next_seq_++, std::move(action)});
+  }
+
+  /// Schedule an action `delay` after the current time.
+  void schedule_after(SimDuration delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run until the event queue is empty.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run while events exist and their time is <= `t`; then advance the
+  /// clock to `t`. Returns true if events remain beyond `t`.
+  bool run_until(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    now_ = std::max(now_, t);
+    return !queue_.empty();
+  }
+
+  /// Execute the single earliest event. Returns false if none is pending.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Move the event out before executing: the action may schedule more.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.action();
+    return true;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,131 @@
+// Reservation-style sequential resource.
+//
+// A Timeline models a serially reusable resource (a DRAM channel, a link, a
+// configuration port, an accelerator pipeline issue slot). Callers reserve a
+// service interval starting no earlier than their ready time; contention
+// emerges from back-to-back reservations. This analytic style composes with
+// the event-driven Simulator: flows compute their completion times through a
+// chain of reservations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+
+namespace ecoscale {
+
+class Timeline {
+ public:
+  Timeline() = default;
+  explicit Timeline(std::string name) : name_(std::move(name)) {}
+
+  /// Reserve `service` time starting at max(ready, next_free).
+  /// Returns the start time of service; the resource becomes free at
+  /// start + service.
+  SimTime reserve(SimTime ready, SimDuration service) {
+    const SimTime start = ready > next_free_ ? ready : next_free_;
+    next_free_ = start + service;
+    busy_ += service;
+    ++reservations_;
+    return start;
+  }
+
+  /// Completion time of a reservation made at `ready` for `service`.
+  SimTime reserve_until(SimTime ready, SimDuration service) {
+    return reserve(ready, service) + service;
+  }
+
+  SimTime next_free() const { return next_free_; }
+  SimDuration busy_time() const { return busy_; }
+  std::uint64_t reservations() const { return reservations_; }
+  const std::string& name() const { return name_; }
+
+  /// Utilization over [0, horizon].
+  double utilization(SimTime horizon) const {
+    if (horizon == 0) return 0.0;
+    const SimDuration b = busy_ < horizon ? busy_ : horizon;
+    return static_cast<double>(b) / static_cast<double>(horizon);
+  }
+
+  void reset() {
+    next_free_ = 0;
+    busy_ = 0;
+    reservations_ = 0;
+  }
+
+ private:
+  std::string name_;
+  SimTime next_free_ = 0;
+  SimDuration busy_ = 0;
+  std::uint64_t reservations_ = 0;
+};
+
+/// Gap-filling variant of Timeline for resources whose reservations arrive
+/// out of time order (a remote request reserves the destination DRAM at a
+/// *future* arrival time; a later call may legitimately want an earlier
+/// slot). A plain Timeline would ratchet `next_free` to the furthest
+/// reservation and serialise everything behind it; the calendar keeps the
+/// set of busy intervals and places each reservation in the first gap at
+/// or after its ready time.
+class CalendarTimeline {
+ public:
+  CalendarTimeline() = default;
+  explicit CalendarTimeline(std::string name) : name_(std::move(name)) {}
+
+  /// Reserve `service` time in the first gap starting at or after `ready`.
+  /// Returns the start of service.
+  SimTime reserve(SimTime ready, SimDuration service) {
+    ++reservations_;
+    busy_ += service;
+    if (service == 0) return ready;
+    SimTime candidate = ready;
+    // Start from the last interval that begins at or before `candidate`
+    // (it may still overlap), then walk forward.
+    auto it = intervals_.upper_bound(candidate);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > candidate) candidate = prev->second;
+    }
+    while (it != intervals_.end() && it->first < candidate + service) {
+      candidate = std::max(candidate, it->second);
+      ++it;
+    }
+    intervals_.emplace(candidate, candidate + service);
+    horizon_ = std::max(horizon_, candidate + service);
+    return candidate;
+  }
+
+  SimTime reserve_until(SimTime ready, SimDuration service) {
+    return reserve(ready, service) + service;
+  }
+
+  SimDuration busy_time() const { return busy_; }
+  std::uint64_t reservations() const { return reservations_; }
+  SimTime horizon() const { return horizon_; }
+  const std::string& name() const { return name_; }
+
+  double utilization(SimTime horizon) const {
+    if (horizon == 0) return 0.0;
+    const SimDuration b = busy_ < horizon ? busy_ : horizon;
+    return static_cast<double>(b) / static_cast<double>(horizon);
+  }
+
+  void reset() {
+    intervals_.clear();
+    busy_ = 0;
+    reservations_ = 0;
+    horizon_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::map<SimTime, SimTime> intervals_;  // start -> end, non-overlapping
+  SimDuration busy_ = 0;
+  std::uint64_t reservations_ = 0;
+  SimTime horizon_ = 0;
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,111 @@
+#include "unilogic/pool.h"
+
+#include <algorithm>
+
+namespace ecoscale {
+
+SimTime UnilogicPool::estimate_start(std::size_t w,
+                                     const AcceleratorModule& module,
+                                     SimTime now) const {
+  Worker& worker = *workers_[w];
+  if (const VirtualizationBlock* block =
+          const_cast<Worker&>(worker).find_block(module.kernel);
+      block != nullptr && worker.fabric().is_loaded(module.kernel)) {
+    return std::max(now, block->issue_timeline().next_free());
+  }
+  // Not loaded: estimate configuration latency (port may be busy).
+  const Bytes wire = worker.fabric().wire_bytes_for(module);
+  const SimDuration config_time =
+      worker.fabric().config().config_port_bw.transfer_time(wire) +
+      worker.fabric().config().setup_latency;
+  return now + config_time;
+}
+
+std::optional<UnilogicInvoke> UnilogicPool::invoke(
+    std::size_t caller, const AcceleratorModule& module, std::uint64_t items,
+    SimTime now, DispatchPolicy policy) {
+  ECO_CHECK(caller < workers_.size());
+  std::size_t target = caller;
+  if (policy == DispatchPolicy::kLeastLoaded) {
+    // Remote dispatch streams the call's I/O set uncached over the L0
+    // interconnect (ACE-lite, §4.1) and pays doorbell + completion
+    // interrupts; offload only when the estimated *finish* still wins.
+    const Bytes moved =
+        items * (module.bytes_in_per_item + module.bytes_out_per_item);
+    const SimDuration remote_overhead =
+        Bandwidth::from_gib_per_s(16.0).transfer_time(moved) +
+        microseconds(2);
+    SimTime best = estimate_start(caller, module, now);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (w == caller) continue;
+      const SimTime est = estimate_start(w, module, now) + remote_overhead;
+      if (est < best) {
+        best = est;
+        target = w;
+      }
+    }
+  }
+
+  const bool remote = target != caller;
+  SimTime ready = now;
+  Picojoules extra_energy = 0.0;
+
+  if (remote) {
+    // Doorbell: user-level store to the remote block's mapped registers.
+    Packet bell{PacketType::kInterrupt,
+                WorkerCoord{0, static_cast<WorkerId>(caller)},
+                WorkerCoord{0, static_cast<WorkerId>(target)}, 64};
+    const auto t = network_.send(endpoint_base_ + caller,
+                                 endpoint_base_ + target, bell, now);
+    ready = t.arrival;
+    extra_energy += t.energy;
+  }
+
+  auto exec = workers_[target]->run_hardware(module, items, ready,
+                                             static_cast<std::uint32_t>(caller));
+  if (!exec) {
+    if (remote) return std::nullopt;
+    return std::nullopt;
+  }
+
+  UnilogicInvoke result;
+  result.executed_on = target;
+  result.start = exec->start;
+  result.finish = exec->finish;
+  result.energy = exec->energy + extra_energy;
+  result.remote = remote;
+  result.reconfigured = exec->reconfigured;
+
+  if (remote) {
+    ++remote_invocations_;
+    // The remote block reads its operands from the *caller's* memory over
+    // the L0 interconnect with its data cache disabled (ACE-lite): stream
+    // the I/O set across the network and take the slower of compute and
+    // uncached data movement.
+    const Bytes moved =
+        items * (module.bytes_in_per_item + module.bytes_out_per_item);
+    Packet data{PacketType::kDma,
+                WorkerCoord{0, static_cast<WorkerId>(caller)},
+                WorkerCoord{0, static_cast<WorkerId>(target)}, moved};
+    const auto t = network_.send(endpoint_base_ + caller,
+                                 endpoint_base_ + target, data, result.start);
+    result.finish = std::max(result.finish, t.arrival);
+    result.energy += t.energy;
+    // Completion interrupt back to the caller.
+    Packet done{PacketType::kInterrupt,
+                WorkerCoord{0, static_cast<WorkerId>(target)},
+                WorkerCoord{0, static_cast<WorkerId>(caller)}, 16};
+    const auto back = network_.send(endpoint_base_ + target,
+                                    endpoint_base_ + caller, done,
+                                    result.finish);
+    result.finish = back.arrival;
+    result.energy += back.energy;
+    energy_.charge("unilogic.remote", result.energy);
+  } else {
+    ++local_invocations_;
+    energy_.charge("unilogic.local", result.energy);
+  }
+  return result;
+}
+
+}  // namespace ecoscale

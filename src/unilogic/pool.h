@@ -1,0 +1,83 @@
+// UNILOGIC: shared partitioned reconfigurable resources (paper §4.1).
+//
+// "Within a Compute Node, any Worker can access any Reconfigurable block
+// (even remote blocks that belong to other Workers) through the multi-layer
+// interconnect… However, since this is not an ACE port (no snooping
+// protocol is supported) the remote Reconfigurable block should disable its
+// data cache (and would not be as efficient as a local one)."
+//
+// The pool arbitrates a Compute Node's fabrics: a caller's kernel call can
+// run on its own fabric or be dispatched to a peer Worker's fabric. Remote
+// execution pays (a) the doorbell/interconnect round trip and (b) uncached
+// data streaming over the L0 interconnect instead of the local coherent
+// port.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/energy.h"
+#include "common/units.h"
+#include "interconnect/network.h"
+#include "worker/worker.h"
+
+namespace ecoscale {
+
+enum class DispatchPolicy {
+  kLocalOnly,     // private accelerators: the paper's baseline
+  kLeastLoaded,   // UNILOGIC sharing: pick the earliest-available fabric
+};
+
+struct UnilogicInvoke {
+  std::size_t executed_on = 0;  // worker index within the node
+  SimTime start = 0;
+  SimTime finish = 0;
+  Picojoules energy = 0.0;
+  bool remote = false;
+  bool reconfigured = false;
+};
+
+class UnilogicPool {
+ public:
+  /// `workers` are the Compute Node's Workers (not owned); `network` routes
+  /// doorbells and uncached remote data; `endpoint_base` maps worker i to
+  /// network endpoint endpoint_base + i.
+  UnilogicPool(std::vector<Worker*> workers, Network& network,
+               std::size_t endpoint_base = 0)
+      : workers_(std::move(workers)),
+        network_(network),
+        endpoint_base_(endpoint_base) {
+    ECO_CHECK(!workers_.empty());
+  }
+
+  /// Invoke `module` with `items` on behalf of worker `caller`.
+  /// Returns nullopt if no fabric in the node can host the module.
+  std::optional<UnilogicInvoke> invoke(std::size_t caller,
+                                       const AcceleratorModule& module,
+                                       std::uint64_t items, SimTime now,
+                                       DispatchPolicy policy);
+
+  std::uint64_t remote_invocations() const { return remote_invocations_; }
+  std::uint64_t local_invocations() const { return local_invocations_; }
+  const EnergyMeter& energy() const { return energy_; }
+  std::size_t size() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_[i]; }
+
+ private:
+  /// Estimated time the kernel could start on worker `w` (loaded module's
+  /// pipeline availability, or now + reconfiguration estimate).
+  SimTime estimate_start(std::size_t w, const AcceleratorModule& module,
+                         SimTime now) const;
+
+  std::vector<Worker*> workers_;
+  Network& network_;
+  std::size_t endpoint_base_;
+  std::uint64_t remote_invocations_ = 0;
+  std::uint64_t local_invocations_ = 0;
+  EnergyMeter energy_;
+};
+
+}  // namespace ecoscale

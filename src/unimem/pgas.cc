@@ -1,0 +1,379 @@
+#include "unimem/pgas.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+PgasSystem::PgasSystem(PgasConfig config) : config_(config) {
+  ECO_CHECK(config_.nodes >= 1 && config_.workers_per_node >= 1);
+  ECO_CHECK(config_.chassis >= 1);
+  ECO_CHECK_MSG(config_.nodes % config_.chassis == 0,
+                "chassis must divide the node count evenly");
+  // Multi-level tree: L0 groups workers into nodes; L1 joins nodes (into
+  // chassis, when configured); L2 joins chassis.
+  std::vector<std::size_t> radices{config_.workers_per_node};
+  NetworkConfig net_cfg;
+  net_cfg.level_params = {{0, config_.l0_link}, {1, config_.l1_link}};
+  if (config_.chassis > 1) {
+    radices.push_back(config_.nodes / config_.chassis);
+    radices.push_back(config_.chassis);
+    net_cfg.level_params[2] = config_.l2_link;
+  } else {
+    radices.push_back(config_.nodes);
+  }
+  network_ = std::make_unique<Network>(make_tree(radices), net_cfg);
+
+  const std::size_t total = worker_count();
+  caches_.reserve(total);
+  drams_.reserve(total);
+  alloc_cursor_.assign(total, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    const WorkerCoord w = coord(i);
+    caches_.push_back(std::make_unique<Cache>(w.str() + ".l2", config_.cache));
+    drams_.push_back(
+        std::make_unique<DramChannel>(w.str() + ".dram", config_.dram));
+  }
+  translator_ =
+      std::make_unique<ProgressiveTranslator>(config_.translation_latencies);
+  if (config_.scope == CoherenceScope::kGlobal) {
+    // The "cannot scale" baseline: one machine-wide snoop domain.
+    std::vector<Cache*> all;
+    all.reserve(total);
+    for (auto& c : caches_) all.push_back(c.get());
+    domains_.push_back(std::make_unique<CoherenceDomain>(
+        std::move(all), CoherenceMode::kSnoopBroadcast));
+    return;
+  }
+  domains_.reserve(config_.nodes);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    std::vector<Cache*> node_caches;
+    node_caches.reserve(config_.workers_per_node);
+    for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+      node_caches.push_back(caches_[n * config_.workers_per_node + w].get());
+    }
+    domains_.push_back(std::make_unique<CoherenceDomain>(
+        std::move(node_caches), config_.node_coherence));
+  }
+}
+
+GlobalAddress PgasSystem::alloc(NodeId node, WorkerId worker, Bytes size) {
+  ECO_CHECK(node < config_.nodes && worker < config_.workers_per_node);
+  ECO_CHECK(size > 0);
+  const std::size_t idx = flat(WorkerCoord{node, worker});
+  // Page-align each allocation so ownership is per-allocation clean.
+  std::uint64_t& cursor = alloc_cursor_[idx];
+  cursor = (cursor + kPageSize - 1) & ~(kPageSize - 1);
+  const GlobalAddress base(node, worker, cursor);
+  cursor += size;
+  const PageId first = page_of(base);
+  const PageId last = page_of(base + (size - 1));
+  for (PageId p = first; p <= last; ++p) {
+    if (!directory_.is_registered(p)) directory_.register_page(p, node);
+  }
+  return base;
+}
+
+std::vector<std::uint8_t>& PgasSystem::page_data(PageId page) {
+  auto& data = store_[page];
+  if (data.empty()) data.resize(kPageSize, 0);
+  return data;
+}
+
+void PgasSystem::write_bytes(GlobalAddress addr,
+                             std::span<const std::uint8_t> data) {
+  std::uint64_t raw = addr.raw();
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const PageId page = raw >> kPageShift;
+    const std::size_t in_page = raw & (kPageSize - 1);
+    const std::size_t chunk =
+        std::min<std::size_t>(kPageSize - in_page, data.size() - written);
+    auto& pd = page_data(page);
+    std::copy_n(data.data() + written, chunk, pd.data() + in_page);
+    written += chunk;
+    raw += chunk;
+  }
+}
+
+void PgasSystem::read_bytes(GlobalAddress addr,
+                            std::span<std::uint8_t> out) const {
+  std::uint64_t raw = addr.raw();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PageId page = raw >> kPageShift;
+    const std::size_t in_page = raw & (kPageSize - 1);
+    const std::size_t chunk =
+        std::min<std::size_t>(kPageSize - in_page, out.size() - done);
+    auto it = store_.find(page);
+    if (it == store_.end()) {
+      std::fill_n(out.data() + done, chunk, 0);
+    } else {
+      std::copy_n(it->second.data() + in_page, chunk, out.data() + done);
+    }
+    done += chunk;
+    raw += chunk;
+  }
+}
+
+MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
+                             bool write, bool bulk, SimTime now) {
+  ECO_CHECK(who.node < config_.nodes &&
+            who.worker < config_.workers_per_node);
+  const PageId page = page_of(addr);
+  const auto owner = directory_.owner(page);
+  ECO_CHECK_MSG(owner.has_value(), "access to unregistered page");
+  MemAccess result;
+  const WorkerCoord home = addr.home();
+
+  // Progressive address translation: each access resolves exactly the
+  // hierarchy levels its route traverses (no central translation agent).
+  const WorkerCoord effective_home{
+      static_cast<NodeId>(*owner),
+      static_cast<WorkerId>(home.worker % config_.workers_per_node)};
+  const SimDuration translation =
+      translator_->translate(who, effective_home).total_latency;
+  now += translation;
+
+  if (config_.scope == CoherenceScope::kGlobal && !bulk) {
+    // Machine-wide coherence: every miss/upgrade snoops every cache in the
+    // machine, each probe+response paying cross-machine wire latency. The
+    // probes fan out in parallel but their responses must all be
+    // collected, so latency is one probe round trip plus a serialisation
+    // term that grows with machine size (response collection at the
+    // requester).
+    auto& domain = *domains_[0];
+    const std::size_t me = flat(who);
+    const auto acc = write ? domain.write(me, addr.raw())
+                           : domain.read(me, addr.raw());
+    result.cache_hit = acc.hit;
+    if (acc.hit && acc.snoop_messages == 0) {
+      result.finish = now + config_.cache.hit_latency;
+      result.energy = config_.cache.pj_per_hit;
+    } else {
+      // Win the machine-wide ordering point, then broadcast + collect.
+      const SimTime granted = global_order_.reserve_until(
+          now, config_.global_order_occupancy);
+      const SimDuration collect =
+          config_.global_snoop_latency +
+          (acc.snoop_messages / 2) * nanoseconds(4);  // response funnel
+      const auto d = dram(home).access(granted + collect,
+                                       config_.cache.line_size);
+      result.finish = d.finish;
+      result.energy = d.energy +
+                      config_.global_snoop_energy *
+                          static_cast<double>(acc.snoop_messages);
+    }
+    energy_.charge(write ? "pgas.global.store" : "pgas.global.load",
+                   result.energy);
+    ++local_accesses_;
+    return result;
+  }
+
+  if (*owner == who.node) {
+    // Node-local: runs in the node's coherence domain. The requester's
+    // cache may hit; a miss goes to the home worker's DRAM.
+    ++local_accesses_;
+    if (bulk) {
+      // DMA bypasses the cache.
+      const auto d = dram(home).access(now, size);
+      result.finish = d.finish;
+      result.energy = d.energy;
+    } else {
+      auto& domain = *domains_[*owner];
+      const auto acc = write ? domain.write(who.worker, addr.raw())
+                             : domain.read(who.worker, addr.raw());
+      result.cache_hit = acc.hit;
+      if (acc.hit) {
+        result.finish = now + config_.cache.hit_latency;
+        result.energy = config_.cache.pj_per_hit;
+      } else {
+        const auto d = dram(home).access(now, config_.cache.line_size);
+        result.finish = d.finish;
+        result.energy = d.energy + config_.cache.pj_per_hit;
+      }
+      // Intra-node hop if the home worker differs from the requester and
+      // we actually went past the cache.
+      if (!acc.hit && home.worker != who.worker) {
+        Packet p{write ? PacketType::kWrite : PacketType::kRead, who, home,
+                 config_.cache.line_size};
+        const auto t = network_->send(flat(who), flat(home), p,
+                                      result.finish);
+        result.finish = t.arrival;
+        result.energy += t.energy;
+      }
+    }
+    energy_.charge(write ? "pgas.local.store" : "pgas.local.load",
+                   result.energy);
+    return result;
+  }
+
+  // Remote: route to the owner node's copy. Not cacheable at the
+  // requester (UNIMEM), so every access pays the network.
+  ++remote_accesses_;
+  result.remote = true;
+  // The physical copy lives at the home worker of the address within the
+  // owning node (after migration the data is re-homed at the owner node's
+  // worker 0 DRAM channel — we keep the home worker index for locality).
+  const WorkerCoord where{
+      static_cast<NodeId>(*owner),
+      static_cast<WorkerId>(home.worker % config_.workers_per_node)};
+  const Bytes req_payload = write ? size : 0;
+  Packet req{write ? PacketType::kWrite
+                   : (bulk ? PacketType::kDma : PacketType::kRead),
+             who, where, bulk ? size : req_payload};
+  const auto fwd = network_->send(flat(who), flat(where), req, now);
+  const auto d = dram(where).access(fwd.arrival, size);
+  Packet resp{write ? PacketType::kWriteAck : PacketType::kReadResp, where,
+              who, write ? 0 : size};
+  const auto back = network_->send(flat(where), flat(who), resp, d.finish);
+  result.finish = back.arrival;
+  result.energy = fwd.energy + d.energy + back.energy;
+  energy_.charge(write ? "pgas.remote.store" : "pgas.remote.load",
+                 result.energy);
+  return result;
+}
+
+MemAccess PgasSystem::load(WorkerCoord who, GlobalAddress addr, Bytes size,
+                           SimTime now) {
+  return access(who, addr, size, /*write=*/false, /*bulk=*/false, now);
+}
+
+MemAccess PgasSystem::store(WorkerCoord who, GlobalAddress addr, Bytes size,
+                            SimTime now) {
+  return access(who, addr, size, /*write=*/true, /*bulk=*/false, now);
+}
+
+MemAccess PgasSystem::dma(WorkerCoord who, GlobalAddress src_or_dst,
+                          Bytes size, bool write, SimTime now) {
+  return access(who, src_or_dst, size, write, /*bulk=*/true, now);
+}
+
+AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
+                                    AtomicOp op, std::uint64_t operand,
+                                    SimTime now, std::uint64_t compare) {
+  const PageId page = page_of(addr);
+  const auto owner = directory_.owner(page);
+  ECO_CHECK_MSG(owner.has_value(), "atomic on unregistered page");
+  ECO_CHECK_MSG((addr.offset() & 7) == 0, "atomic must be 8-byte aligned");
+
+  // Functional part: exact RMW against the backing store.
+  std::uint64_t old = 0;
+  std::array<std::uint8_t, 8> word{};
+  read_bytes(addr, word);
+  std::memcpy(&old, word.data(), 8);
+  std::uint64_t next = old;
+  AtomicResult result;
+  result.old_value = old;
+  switch (op) {
+    case AtomicOp::kFetchAdd:
+      next = old + operand;
+      break;
+    case AtomicOp::kSwap:
+      next = operand;
+      break;
+    case AtomicOp::kCompareSwap:
+      if (old == compare) {
+        next = operand;
+        result.swapped = true;
+      }
+      break;
+    case AtomicOp::kFetchOr:
+      next = old | operand;
+      break;
+  }
+  std::memcpy(word.data(), &next, 8);
+  write_bytes(addr, word);
+
+  // Timing part: the RMW executes at the owning node's memory controller
+  // (near-memory atomic unit); remote callers pay one 8-byte round trip.
+  constexpr SimDuration kAluLatency = nanoseconds(4);
+  if (*owner == who.node) {
+    const auto home = addr.home();
+    const auto d = dram(home).access(now, 8);
+    result.finish = d.finish + kAluLatency;
+    result.energy = d.energy;
+    energy_.charge("pgas.atomic.local", result.energy);
+  } else {
+    result.remote = true;
+    ++remote_accesses_;
+    const WorkerCoord where{
+        static_cast<NodeId>(*owner),
+        static_cast<WorkerId>(addr.home().worker % config_.workers_per_node)};
+    Packet req{PacketType::kSync, who, where, 16};  // op + operand
+    const auto fwd = network_->send(flat(who), flat(where), req, now);
+    const auto d = dram(where).access(fwd.arrival, 8);
+    Packet resp{PacketType::kSync, where, who, 8};
+    const auto back =
+        network_->send(flat(where), flat(who), resp, d.finish + kAluLatency);
+    result.finish = back.arrival;
+    result.energy = fwd.energy + d.energy + back.energy;
+    energy_.charge("pgas.atomic.remote", result.energy);
+  }
+  return result;
+}
+
+MigrationResult PgasSystem::migrate_page(PageId page, NodeId dst,
+                                         SimTime now) {
+  const auto owner = directory_.owner(page);
+  ECO_CHECK_MSG(owner.has_value(), "migrating unregistered page");
+  MigrationResult result;
+  if (*owner == dst) {
+    result.finish = now;
+    return result;
+  }
+  // 1. Flush the old owner's cached lines of this page (UNIMEM: only the
+  //    owner may have cached it). Cost: one invalidate walk + writebacks.
+  auto& old_domain = *domains_[*owner];
+  (void)old_domain;
+  const std::size_t lines = kPageSize / config_.cache.line_size;
+  std::uint64_t dirty = 0;
+  for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+    Cache& c = *caches_[static_cast<std::size_t>(*owner) *
+                            config_.workers_per_node +
+                        w];
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::uint64_t line =
+          (static_cast<std::uint64_t>(page) << kPageShift) /
+              config_.cache.line_size +
+          l;
+      if (c.invalidate(line)) ++dirty;
+    }
+  }
+  // 2. Transfer the page from a worker of the old owner to one of the new.
+  const WorkerCoord src{static_cast<NodeId>(*owner), 0};
+  const WorkerCoord dst_w{dst, 0};
+  const auto rd = dram(src).access(now, kPageSize + dirty *
+                                            config_.cache.line_size);
+  Packet p{PacketType::kDma, src, dst_w, kPageSize};
+  const auto t = network_->send(flat(src), flat(dst_w), p, rd.finish);
+  const auto wr = dram(dst_w).access(t.arrival, kPageSize);
+  // 3. Flip ownership.
+  directory_.migrate(page, dst);
+  result.finish = wr.finish;
+  result.bytes_moved = kPageSize;
+  result.energy = rd.energy + t.energy + wr.energy;
+  energy_.charge("pgas.page_migration", result.energy);
+  return result;
+}
+
+MigrationResult PgasSystem::migrate_task(WorkerCoord from, WorkerCoord to,
+                                         SimTime now) {
+  MigrationResult result;
+  if (from == to) {
+    result.finish = now;
+    return result;
+  }
+  Packet p{PacketType::kMessage, from, to, config_.task_closure_bytes};
+  const auto t = network_->send(flat(from), flat(to), p, now);
+  result.finish = t.arrival;
+  result.bytes_moved = config_.task_closure_bytes;
+  result.energy = t.energy;
+  energy_.charge("pgas.task_migration", result.energy);
+  return result;
+}
+
+}  // namespace ecoscale

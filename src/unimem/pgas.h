@@ -1,0 +1,209 @@
+// UNIMEM partitioned global address space (paper §2, §4.1).
+//
+// One PgasSystem spans a machine of `nodes` Compute Nodes × `workers`
+// Workers. Every Worker can load/store any GlobalAddress:
+//
+//  * If the address's page is owned by the Worker's node, the access runs
+//    through the node-local coherence domain (the only coherence domain
+//    that exists — UNIMEM's invariant is that a page is cacheable at its
+//    owning node and nowhere else).
+//  * Otherwise the access is routed over the hierarchical interconnect to
+//    the owning node's memory and is *not* cached locally — remote data is
+//    accessed with plain loads/stores, no global snooping (ACE-lite
+//    semantics for remote masters).
+//
+// The class also provides the two mobility primitives the paper
+// contrasts: page migration (move data to the task) and task migration
+// (move the task to the data).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "address/address.h"
+#include "address/ownership.h"
+#include "address/progressive.h"
+#include "common/energy.h"
+#include "common/units.h"
+#include "interconnect/network.h"
+#include "memory/cache.h"
+#include "memory/coherence.h"
+#include "memory/dram.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+
+/// Coherence scope: UNIMEM (the paper's contribution — one small domain
+/// per node, remote accesses uncached) vs. a machine-wide domain (the
+/// "global cache coherent mechanism, which simply cannot scale" baseline,
+/// provided so the scalability comparison can be *timed*, not just
+/// message-counted).
+enum class CoherenceScope { kUnimem, kGlobal };
+
+struct PgasConfig {
+  std::size_t nodes = 2;
+  std::size_t workers_per_node = 4;
+  /// Optional third hierarchy level (paper §2: "multi-node chassis and
+  /// cabinets"): when > 1, the `nodes` are grouped into this many chassis
+  /// (nodes must divide evenly) and inter-chassis links use l2_link.
+  std::size_t chassis = 1;
+  CacheConfig cache;            // per-worker cache
+  DramConfig dram;              // per-worker DRAM channel
+  LinkParams l0_link;           // worker <-> node switch
+  LinkParams l1_link;           // node switch <-> chassis/global switch
+  LinkParams l2_link;           // chassis switch <-> root (if chassis > 1)
+  CoherenceMode node_coherence = CoherenceMode::kDirectory;
+  CoherenceScope scope = CoherenceScope::kUnimem;
+  /// Global-scope baseline only: wire latency of one snoop probe/response
+  /// (cross-machine, so it pays inter-node distance).
+  SimDuration global_snoop_latency = nanoseconds(180);
+  Picojoules global_snoop_energy = 150.0;  // per snoop message
+  /// Broadcast coherence requires a machine-wide ordering point; every
+  /// miss/upgrade serialises through it. This occupancy — total
+  /// transactions grow with machine size while the ordering point does
+  /// not — is the structural reason global snooping cannot scale.
+  SimDuration global_order_occupancy = nanoseconds(20);
+  /// Closure size for task migration (descriptor + captured args).
+  Bytes task_closure_bytes = 256;
+  /// Progressive address translation (Katevenis [12]): per-level lookup
+  /// latencies paid by each access as it climbs the hierarchy. Charged on
+  /// the request path (local: level 0; intra-node: +level 1; cross-node:
+  /// +level 2).
+  std::vector<SimDuration> translation_latencies = {
+      nanoseconds(1), nanoseconds(6), nanoseconds(30)};
+
+  PgasConfig() {
+    l0_link.hop_latency = nanoseconds(20);
+    l0_link.bandwidth = Bandwidth::from_gib_per_s(16.0);
+    l0_link.pj_per_byte = 1.0;
+    l1_link.hop_latency = nanoseconds(150);
+    l1_link.bandwidth = Bandwidth::from_gib_per_s(8.0);
+    l1_link.pj_per_byte = 6.0;
+    l2_link.hop_latency = nanoseconds(500);
+    l2_link.bandwidth = Bandwidth::from_gib_per_s(5.0);
+    l2_link.pj_per_byte = 20.0;
+  }
+};
+
+struct MemAccess {
+  SimTime finish = 0;
+  bool remote = false;     // crossed the node boundary
+  bool cache_hit = false;  // served by the local coherent domain's cache
+  Picojoules energy = 0.0;
+};
+
+struct MigrationResult {
+  SimTime finish = 0;
+  Bytes bytes_moved = 0;
+  Picojoules energy = 0.0;
+};
+
+/// Remote atomics execute at the page's owning node (§4.1: the
+/// interconnect carries small synchronisation transfers "to synchronize
+/// remote threads" — the very traffic the paper says DMA-only systems
+/// handle badly).
+enum class AtomicOp : std::uint8_t {
+  kFetchAdd,
+  kSwap,
+  kCompareSwap,
+  kFetchOr,
+};
+
+struct AtomicResult {
+  std::uint64_t old_value = 0;
+  bool swapped = false;  // CAS success
+  SimTime finish = 0;
+  bool remote = false;
+  Picojoules energy = 0.0;
+};
+
+class PgasSystem {
+ public:
+  explicit PgasSystem(PgasConfig config = {});
+
+  std::size_t node_count() const { return config_.nodes; }
+  std::size_t workers_per_node() const { return config_.workers_per_node; }
+  std::size_t worker_count() const {
+    return config_.nodes * config_.workers_per_node;
+  }
+
+  /// Allocate `size` bytes homed at (node, worker); pages are registered
+  /// with the ownership directory. Page-aligned bump allocation.
+  GlobalAddress alloc(NodeId node, WorkerId worker, Bytes size);
+
+  // --- timed accesses ----------------------------------------------------
+  MemAccess load(WorkerCoord who, GlobalAddress addr, Bytes size,
+                 SimTime now);
+  MemAccess store(WorkerCoord who, GlobalAddress addr, Bytes size,
+                  SimTime now);
+
+  /// Bulk DMA (one transfer, bandwidth-dominated), used for explicit data
+  /// movement and for page migration internals.
+  MemAccess dma(WorkerCoord who, GlobalAddress src_or_dst, Bytes size,
+                bool write, SimTime now);
+
+  /// Atomic read-modify-write on a 64-bit word, executed at the owning
+  /// node (functionally exact against the backing store). `compare` is
+  /// used only by kCompareSwap.
+  AtomicResult atomic_rmw(WorkerCoord who, GlobalAddress addr, AtomicOp op,
+                          std::uint64_t operand, SimTime now,
+                          std::uint64_t compare = 0);
+
+  // --- functional backing store -------------------------------------------
+  void write_bytes(GlobalAddress addr, std::span<const std::uint8_t> data);
+  void read_bytes(GlobalAddress addr, std::span<std::uint8_t> out) const;
+
+  // --- mobility ------------------------------------------------------------
+  /// Move page ownership to `dst` node: flush the old owner's cached lines
+  /// of that page, transfer the page, update the directory.
+  MigrationResult migrate_page(PageId page, NodeId dst, SimTime now);
+
+  /// Ship a task closure from one worker to another (move task to data).
+  MigrationResult migrate_task(WorkerCoord from, WorkerCoord to, SimTime now);
+
+  // --- introspection -------------------------------------------------------
+  const OwnershipDirectory& directory() const { return directory_; }
+  OwnershipDirectory& directory() { return directory_; }
+  Network& network() { return *network_; }
+  CoherenceDomain& node_domain(NodeId node) { return *domains_[node]; }
+  DramChannel& dram(WorkerCoord w) { return *drams_[flat(w)]; }
+  Cache& cache(WorkerCoord w) { return *caches_[flat(w)]; }
+
+  std::uint64_t remote_accesses() const { return remote_accesses_; }
+  std::uint64_t local_accesses() const { return local_accesses_; }
+  const EnergyMeter& energy() const { return energy_; }
+
+  std::size_t flat(WorkerCoord w) const {
+    return static_cast<std::size_t>(w.node) * config_.workers_per_node +
+           w.worker;
+  }
+  WorkerCoord coord(std::size_t flat_index) const {
+    return WorkerCoord{
+        static_cast<NodeId>(flat_index / config_.workers_per_node),
+        static_cast<WorkerId>(flat_index % config_.workers_per_node)};
+  }
+
+ private:
+  MemAccess access(WorkerCoord who, GlobalAddress addr, Bytes size,
+                   bool write, bool bulk, SimTime now);
+  std::vector<std::uint8_t>& page_data(PageId page);
+
+  PgasConfig config_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+  std::vector<std::unique_ptr<DramChannel>> drams_;
+  std::vector<std::unique_ptr<CoherenceDomain>> domains_;
+  OwnershipDirectory directory_;
+  std::unordered_map<PageId, std::vector<std::uint8_t>> store_;
+  std::vector<std::uint64_t> alloc_cursor_;  // per worker, byte offset
+  std::uint64_t remote_accesses_ = 0;
+  std::uint64_t local_accesses_ = 0;
+  std::unique_ptr<ProgressiveTranslator> translator_;
+  Timeline global_order_{"snoop_order"};  // global-scope baseline only
+  EnergyMeter energy_;
+};
+
+}  // namespace ecoscale

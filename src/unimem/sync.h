@@ -1,0 +1,40 @@
+// Inter-worker synchronisation over UNIMEM (paper §4.1: the multi-layer
+// interconnect carries "load and store commands, DMA operations, interrupts,
+// and synchronization between the Workers").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+
+struct SyncResult {
+  SimTime finish = 0;       // when every participant has been released
+  Picojoules energy = 0.0;
+  std::uint64_t messages = 0;
+};
+
+/// Tree barrier across a set of workers: workers combine arrival tokens up
+/// the interconnect tree (pairwise over the network) and a release wave
+/// fans back down. `arrivals[i]` is when worker i reaches the barrier.
+SyncResult tree_barrier(PgasSystem& pgas,
+                        std::span<const WorkerCoord> workers,
+                        std::span<const SimTime> arrivals);
+
+/// Flat (centralised) barrier baseline: everyone signals worker 0, worker 0
+/// broadcasts release. Messages scale linearly but all converge on one
+/// endpoint — the contrast case for the hierarchical claim.
+SyncResult flat_barrier(PgasSystem& pgas,
+                        std::span<const WorkerCoord> workers,
+                        std::span<const SimTime> arrivals);
+
+/// Mailbox doorbell: a small synchronisation message plus the remote
+/// interrupt delivery cost. Returns delivery completion time.
+SyncResult mailbox_signal(PgasSystem& pgas, WorkerCoord from, WorkerCoord to,
+                          SimTime now,
+                          SimDuration interrupt_latency = nanoseconds(500));
+
+}  // namespace ecoscale

@@ -1,0 +1,87 @@
+// Power and DVFS modelling for Workers (the paper's energy-efficiency
+// core theme: §1 "1 GW" motivation, §4.2 energy models and monitoring).
+//
+// Dynamic energy per cycle scales ~quadratically with frequency (voltage
+// tracks frequency); static power is constant while the component is on.
+// The model answers the scheduling question the runtime's energy objective
+// poses: for a task with a deadline, is it cheaper to race-to-idle at max
+// frequency or crawl just-in-time at low frequency? The answer flips with
+// the static/dynamic power ratio — which is why it is a model, not a rule.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ecoscale {
+
+struct DvfsPoint {
+  double clock_ghz = 1.2;
+  double pj_per_cycle = 120.0;  // dynamic energy at this point
+};
+
+/// A plausible ARM-class operating-point ladder: pj/cycle ∝ f² around the
+/// nominal 1.2 GHz / 120 pJ point.
+inline std::vector<DvfsPoint> default_dvfs_ladder() {
+  std::vector<DvfsPoint> pts;
+  for (const double f : {0.6, 0.8, 1.0, 1.2, 1.5, 1.8}) {
+    DvfsPoint p;
+    p.clock_ghz = f;
+    p.pj_per_cycle = 120.0 * (f / 1.2) * (f / 1.2);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+struct EnergyTime {
+  SimDuration time = 0;
+  Picojoules energy = 0.0;  // dynamic + static over `time`
+};
+
+/// Run `cycles` of work at one operating point with `static_watts` of
+/// always-on power charged for the duration.
+inline EnergyTime run_at(double cycles, const DvfsPoint& point,
+                         double static_watts) {
+  ECO_CHECK(cycles >= 0 && point.clock_ghz > 0);
+  EnergyTime r;
+  r.time = static_cast<SimDuration>(cycles * 1000.0 / point.clock_ghz);
+  const double seconds = to_seconds(r.time);
+  r.energy = point.pj_per_cycle * cycles + static_watts * seconds * 1e12;
+  return r;
+}
+
+/// Energy to complete `cycles` by `deadline`: run at the chosen point,
+/// then idle (static power only, optionally gated to `idle_watts`) until
+/// the deadline. Returns nullopt if the point cannot meet the deadline.
+inline std::optional<Picojoules> energy_with_deadline(
+    double cycles, const DvfsPoint& point, double static_watts,
+    double idle_watts, SimDuration deadline) {
+  const EnergyTime busy = run_at(cycles, point, static_watts);
+  if (busy.time > deadline) return std::nullopt;
+  const double idle_seconds = to_seconds(deadline - busy.time);
+  return busy.energy + idle_watts * idle_seconds * 1e12;
+}
+
+/// The best operating point for (cycles, deadline): minimal total energy.
+inline std::optional<DvfsPoint> best_dvfs_point(
+    double cycles, double static_watts, double idle_watts,
+    SimDuration deadline,
+    const std::vector<DvfsPoint>& ladder = default_dvfs_ladder()) {
+  std::optional<DvfsPoint> best;
+  double best_energy = 0.0;
+  for (const auto& p : ladder) {
+    const auto e =
+        energy_with_deadline(cycles, p, static_watts, idle_watts, deadline);
+    if (!e) continue;
+    if (!best || *e < best_energy) {
+      best = p;
+      best_energy = *e;
+    }
+  }
+  return best;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,135 @@
+#include "worker/preemption.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecoscale {
+
+CheckpointResult checkpoint_accelerator(ReconfigManager& fabric,
+                                        const AcceleratorModule& module,
+                                        SimTime now,
+                                        const PreemptionConfig& cfg) {
+  ECO_CHECK_MSG(fabric.is_loaded(module.kernel),
+                "checkpointing a module that is not loaded");
+  CheckpointResult r;
+  const SimDuration readback =
+      cfg.readback_bw.transfer_time(cfg.context_bytes);
+  r.done = now + cfg.freeze_latency + readback;
+  r.bytes = cfg.context_bytes;
+  r.energy = cfg.pj_per_context_byte * static_cast<double>(cfg.context_bytes);
+  return r;
+}
+
+MigrationOutcome migrate_accelerator(Worker& source, Worker& destination,
+                                     const AcceleratorModule& module,
+                                     std::uint64_t remaining_items,
+                                     SimTime now,
+                                     const PreemptionConfig& cfg) {
+  MigrationOutcome out;
+  if (!source.fabric().is_loaded(module.kernel)) return out;
+  // 1. Checkpoint at the source.
+  const auto ckpt = checkpoint_accelerator(source.fabric(), module, now, cfg);
+  // 2. Configure the destination (overlaps the checkpoint readback).
+  const auto load = destination.fabric().ensure_loaded(module, now);
+  if (!load) return out;
+  // 3. Ship the context (source DRAM -> destination DRAM over the node
+  //    interconnect; approximated by the accelerator memory bandwidth).
+  const SimTime context_there =
+      std::max(ckpt.done, load->ready) +
+      destination.config().accel_mem_bw.transfer_time(cfg.context_bytes);
+  // 4. Restore into the destination fabric + resume.
+  const SimDuration restore =
+      cfg.readback_bw.transfer_time(cfg.context_bytes);
+  out.resumed = context_there + restore + cfg.resume_latency;
+  // 5. Remaining work runs on the destination.
+  const auto exec =
+      destination.run_hardware(module, remaining_items, out.resumed);
+  ECO_CHECK(exec.has_value());  // it is loaded: cannot fail
+  out.finish = exec->finish;
+  out.energy = ckpt.energy + exec->energy +
+               2.0 * cfg.pj_per_context_byte *
+                   static_cast<double>(cfg.context_bytes);
+  out.bytes_moved =
+      cfg.context_bytes + destination.fabric().wire_bytes_for(module);
+  out.ok = true;
+  // Source region is now free.
+  source.fabric().unload(module.kernel);
+  return out;
+}
+
+PreemptivePair run_preemptive(Worker& worker,
+                              const AcceleratorModule& low_module,
+                              std::uint64_t low_items,
+                              const AcceleratorModule& high_module,
+                              std::uint64_t high_items, SimTime high_arrival,
+                              const PreemptionConfig& cfg) {
+  PreemptivePair out;
+  // Low job starts at t=0.
+  const auto low = worker.run_hardware(low_module, low_items, 0);
+  ECO_CHECK(low.has_value());
+  if (high_arrival >= low->finish) {
+    // No overlap: nothing to pre-empt.
+    out.low_finish = low->finish;
+    const auto high =
+        worker.run_hardware(high_module, high_items, high_arrival);
+    ECO_CHECK(high.has_value());
+    out.high_finish = high->finish;
+    return out;
+  }
+  // Progress made before the interrupt (items drained by high_arrival).
+  const SimDuration elapsed =
+      high_arrival > low->start ? high_arrival - low->start : 0;
+  const SimDuration cycle = low_module.cycle_time();
+  const std::uint64_t per_item =
+      std::max<std::uint64_t>(1, low_module.initiation_interval) * cycle;
+  const std::uint64_t done_items =
+      std::min<std::uint64_t>(low_items, elapsed / per_item);
+  const std::uint64_t remaining = low_items - done_items;
+
+  // Checkpoint low, evict it, run high, then restore low and finish.
+  const auto ckpt =
+      checkpoint_accelerator(worker.fabric(), low_module, high_arrival, cfg);
+  worker.fabric().unload(low_module.kernel);
+  const auto high = worker.run_hardware(high_module, high_items, ckpt.done);
+  ECO_CHECK(high.has_value());
+  out.high_finish = high->finish;
+  // Restore: reload low's bitstream + context, resume the tail.
+  if (worker.fabric().region_of(high_module.kernel).has_value() &&
+      high_module.kernel != low_module.kernel) {
+    // Leave the high module resident; low reloads beside it or evicts it.
+  }
+  const auto reload = worker.fabric().ensure_loaded(low_module, high->finish);
+  ECO_CHECK(reload.has_value());
+  const SimDuration restore =
+      cfg.readback_bw.transfer_time(cfg.context_bytes);
+  const SimTime resume = reload->ready + restore + cfg.resume_latency;
+  const auto tail = worker.run_hardware(low_module, std::max<std::uint64_t>(
+                                                        remaining, 1),
+                                        resume);
+  ECO_CHECK(tail.has_value());
+  out.low_finish = tail->finish;
+  out.overhead_energy =
+      ckpt.energy + 2.0 * cfg.pj_per_context_byte *
+                        static_cast<double>(cfg.context_bytes);
+  return out;
+}
+
+PreemptivePair run_to_completion(Worker& worker,
+                                 const AcceleratorModule& low_module,
+                                 std::uint64_t low_items,
+                                 const AcceleratorModule& high_module,
+                                 std::uint64_t high_items,
+                                 SimTime high_arrival) {
+  PreemptivePair out;
+  const auto low = worker.run_hardware(low_module, low_items, 0);
+  ECO_CHECK(low.has_value());
+  out.low_finish = low->finish;
+  const SimTime start = std::max(high_arrival, low->finish);
+  const auto high = worker.run_hardware(high_module, high_items, start);
+  ECO_CHECK(high.has_value());
+  out.high_finish = high->finish;
+  return out;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,91 @@
+// Pre-emptive hardware execution and accelerator migration (paper §4.3:
+// the middleware's low-level driver "will add virtualization features,
+// such as defragmenting the reconfigurable resources, accelerator
+// migration, and pre-emptive hardware execution").
+//
+// Model: a running module can be frozen, its architectural state (pipeline
+// registers + local BRAM contents) read back over the configuration port,
+// and later restored — on the same fabric (pre-emption) or on another
+// Worker's fabric (migration, which additionally loads the partial
+// bitstream there). Costs are dominated by context size over ICAP
+// bandwidth, exactly as in real PR systems.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.h"
+#include "fabric/accelerator.h"
+#include "fabric/reconfig.h"
+#include "worker/worker.h"
+
+namespace ecoscale {
+
+struct PreemptionConfig {
+  /// Architectural state to save: pipeline registers + live local arrays.
+  Bytes context_bytes = 8 * kKiB;
+  /// Configuration-port readback bandwidth (ICAP readback ≈ write rate).
+  Bandwidth readback_bw = Bandwidth::from_gib_per_s(0.4);
+  /// Quiesce the pipeline before capture (drain in-flight items).
+  SimDuration freeze_latency = microseconds(2);
+  /// Restore-side unfreeze.
+  SimDuration resume_latency = microseconds(1);
+  double pj_per_context_byte = 2.0;
+};
+
+struct CheckpointResult {
+  SimTime done = 0;        // when the context is safely in DRAM
+  Bytes bytes = 0;
+  Picojoules energy = 0.0;
+};
+
+/// Freeze + read back a loaded module's context.
+CheckpointResult checkpoint_accelerator(ReconfigManager& fabric,
+                                        const AcceleratorModule& module,
+                                        SimTime now,
+                                        const PreemptionConfig& cfg = {});
+
+struct MigrationOutcome {
+  bool ok = false;
+  SimTime resumed = 0;   // execution continues on the destination
+  SimTime finish = 0;    // remaining items complete
+  Picojoules energy = 0.0;
+  Bytes bytes_moved = 0;  // context + bitstream
+};
+
+/// Move a running accelerator (with `remaining_items` of work) from one
+/// Worker's fabric to another's: checkpoint at the source, configure the
+/// destination, ship + restore the context, resume.
+MigrationOutcome migrate_accelerator(Worker& source, Worker& destination,
+                                     const AcceleratorModule& module,
+                                     std::uint64_t remaining_items,
+                                     SimTime now,
+                                     const PreemptionConfig& cfg = {});
+
+struct PreemptivePair {
+  SimTime low_finish = 0;
+  SimTime high_finish = 0;
+  Picojoules overhead_energy = 0.0;  // checkpoint/restore cost
+};
+
+/// The scheduling primitive the feature exists for: a low-priority job is
+/// running when a high-priority job arrives at `high_arrival`.
+///  * preemptive: freeze low, save context, run high, restore low, finish.
+///  * run-to-completion: high waits for low.
+/// Assumes both modules fit the fabric one-at-a-time (worst case: the high
+/// job needs the low job's region).
+PreemptivePair run_preemptive(Worker& worker,
+                              const AcceleratorModule& low_module,
+                              std::uint64_t low_items,
+                              const AcceleratorModule& high_module,
+                              std::uint64_t high_items, SimTime high_arrival,
+                              const PreemptionConfig& cfg = {});
+
+PreemptivePair run_to_completion(Worker& worker,
+                                 const AcceleratorModule& low_module,
+                                 std::uint64_t low_items,
+                                 const AcceleratorModule& high_module,
+                                 std::uint64_t high_items,
+                                 SimTime high_arrival);
+
+}  // namespace ecoscale

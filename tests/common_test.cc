@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/energy.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace ecoscale {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(nanoseconds(1), 1000u);
+  EXPECT_EQ(microseconds(1), 1000u * 1000u);
+  EXPECT_EQ(milliseconds(1), 1000u * 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(to_nanoseconds(nanoseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(kibibytes(2), 2048u);
+  EXPECT_EQ(mebibytes(1), 1024u * 1024u);
+}
+
+TEST(Units, BandwidthTransferTime) {
+  // 1 GiB/s: 1 GiB takes 1e12 ps = 1 s.
+  const auto bw = Bandwidth::from_gib_per_s(1.0);
+  EXPECT_NEAR(static_cast<double>(bw.transfer_time(kGiB)), 1e12, 1e6);
+  // 8 GiB/s moves 8 bytes in ~0.93 ns.
+  const auto fast = Bandwidth::from_gib_per_s(8.0);
+  EXPECT_NEAR(static_cast<double>(fast.transfer_time(8)),
+              8.0 * 1e12 / (8.0 * static_cast<double>(kGiB)), 1.0);
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_THROW(ECO_CHECK(false), CheckError);
+  EXPECT_NO_THROW(ECO_CHECK(true));
+  try {
+    ECO_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish) {
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, EmptyPercentileThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), CheckError);
+}
+
+TEST(QuantileEstimator, ExactForSmallSamples) {
+  QuantileEstimator median(0.5);
+  median.add(3);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+  median.add(5);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+}
+
+TEST(QuantileEstimator, ConvergesOnUniform) {
+  QuantileEstimator q10(0.1);
+  QuantileEstimator q50(0.5);
+  QuantileEstimator q90(0.9);
+  Rng rng(33);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    q10.add(x);
+    q50.add(x);
+    q90.add(x);
+  }
+  EXPECT_NEAR(q10.value(), 10.0, 1.5);
+  EXPECT_NEAR(q50.value(), 50.0, 1.5);
+  EXPECT_NEAR(q90.value(), 90.0, 1.5);
+}
+
+TEST(QuantileEstimator, MedianResistsOutliers) {
+  QuantileEstimator median(0.5);
+  RunningStat mean;
+  Rng rng(37);
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.normal(100.0, 5.0);
+    if (rng.chance(0.05)) x *= 50.0;  // gross contamination
+    median.add(x);
+    mean.add(x);
+  }
+  EXPECT_NEAR(median.value(), 100.0, 3.0);
+  EXPECT_GT(mean.mean(), 200.0);  // the mean is dragged far away
+}
+
+TEST(QuantileEstimator, RejectsDegenerateQuantile) {
+  EXPECT_THROW(QuantileEstimator(0.0), CheckError);
+  EXPECT_THROW(QuantileEstimator(1.0), CheckError);
+}
+
+TEST(CounterSet, AccumulatesByName) {
+  CounterSet c;
+  c.add("x");
+  c.add("x", 4);
+  c.add("y", 2);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 2u);
+  EXPECT_EQ(c.get("z"), 0u);
+  EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(EnergyMeter, ChargesAndBreakdown) {
+  EnergyMeter m;
+  m.charge("dram", 100.0);
+  m.charge("dram", 50.0);
+  m.charge("link", 25.0);
+  EXPECT_DOUBLE_EQ(m.total(), 175.0);
+  EXPECT_DOUBLE_EQ(m.category("dram"), 150.0);
+  EXPECT_DOUBLE_EQ(m.category("none"), 0.0);
+}
+
+TEST(EnergyMeter, Merge) {
+  EnergyMeter a;
+  EnergyMeter b;
+  a.charge("x", 1.0);
+  b.charge("x", 2.0);
+  b.charge("y", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+  EXPECT_DOUBLE_EQ(a.category("x"), 3.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TableFormat, Helpers) {
+  EXPECT_EQ(fmt_u64(42), "42");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(2.5), "2.50x");
+  EXPECT_EQ(fmt_pct(0.425), "42.5%");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(fmt_time_ps(1500.0), "1.50 ns");
+  EXPECT_EQ(fmt_energy_pj(2.5e6), "2.50 uJ");
+}
+
+}  // namespace
+}  // namespace ecoscale

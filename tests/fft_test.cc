@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fft.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "hls/dse.h"
+
+namespace ecoscale::apps {
+namespace {
+
+TEST(Fft, MatchesDftOnRandomInput) {
+  Rng rng(5);
+  std::vector<Complex> data(64);
+  for (auto& x : data) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto reference = dft(data);
+  auto fast = data;
+  fft(fast);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(fast[i].real(), reference[i].real(), 1e-9);
+    EXPECT_NEAR(fast[i].imag(), reference[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(6);
+  std::vector<Complex> data(256);
+  for (auto& x : data) x = Complex(rng.uniform(-5, 5), rng.uniform(-5, 5));
+  auto copy = data;
+  fft(copy);
+  fft(copy, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-9);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(16, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> data(n);
+  const double freq = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    data[t] = Complex(
+        std::cos(2 * 3.14159265358979323846 * freq * t / n), 0.0);
+  }
+  fft(data);
+  // Energy concentrated in bins 5 and n-5.
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[4]), 0.0, 1e-6);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft(data), CheckError);
+}
+
+TEST(Fft, ConvolutionMatchesDirect) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{0.5, -1, 2};
+  const auto fast = fft_convolve(a, b);
+  ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::size_t j = k - i;
+      if (k >= i && j < b.size()) direct += a[i] * b[j];
+    }
+    EXPECT_NEAR(fast[k], direct, 1e-9);
+  }
+}
+
+TEST(FftKernel, RegisteredWithDistinctId) {
+  const auto k = make_fft_kernel();
+  EXPECT_EQ(k.id, 107u);
+  EXPECT_GT(k.ops.total(), 0u);
+  // The butterfly is parallel: pipelining should reach II bounded only by
+  // memory ports.
+  const auto front = pareto_front(enumerate_designs(k));
+  EXPECT_FALSE(front.empty());
+  EXPECT_GE(front.back().items_per_cycle, 1.0);
+}
+
+}  // namespace
+}  // namespace ecoscale::apps

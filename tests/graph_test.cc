@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mpi/graph_topology.h"
+
+namespace ecoscale {
+namespace {
+
+TEST(GraphTopology, RingShape) {
+  const auto g = make_ring_graph(6);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(g.neighbors(r).size(), 2u);
+  }
+}
+
+TEST(GraphTopology, StencilShape) {
+  const auto g = make_stencil_graph(3, 3);
+  EXPECT_EQ(g.size(), 9u);
+  EXPECT_EQ(g.neighbors(4).size(), 4u);  // centre
+  EXPECT_EQ(g.neighbors(0).size(), 2u);  // corner
+}
+
+TEST(GraphTopology, RejectsBadEdges) {
+  std::vector<std::vector<GraphTopology::Edge>> adj(2);
+  adj[0].push_back({5, 1.0});  // rank 5 does not exist
+  EXPECT_THROW(GraphTopology(std::move(adj)), CheckError);
+}
+
+TEST(GraphTopology, MappingCostIdentityVsPenalty) {
+  const auto g = make_ring_graph(8);
+  std::vector<std::size_t> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  // All in one node: every edge costs 1.
+  EXPECT_DOUBLE_EQ(g.mapping_cost(identity, 8), 16.0);
+  // One rank per node: every edge pays the penalty.
+  EXPECT_DOUBLE_EQ(g.mapping_cost(identity, 1, 10.0), 160.0);
+}
+
+TEST(GraphTopology, ReorderIsPermutation) {
+  const auto g = make_irregular_graph(16, 3, 77);
+  const auto perm = g.reorder(4);
+  ASSERT_EQ(perm.size(), 16u);
+  std::vector<bool> seen(16, false);
+  for (const auto p : perm) {
+    ASSERT_LT(p, 16u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(GraphTopology, ReorderNeverWorseOnStencil) {
+  // A stencil whose natural order is scrambled: reordering should recover
+  // locality (cost <= scrambled identity cost).
+  const auto g = make_stencil_graph(4, 4);
+  std::vector<std::size_t> scrambled(16);
+  std::iota(scrambled.begin(), scrambled.end(), 0);
+  Rng rng(5);
+  rng.shuffle(scrambled);
+  const double scrambled_cost = g.mapping_cost(scrambled, 4);
+  const auto perm = g.reorder(4);
+  const double reordered_cost = g.mapping_cost(perm, 4);
+  EXPECT_LE(reordered_cost, scrambled_cost);
+}
+
+TEST(GraphTopology, ReorderHelpsIrregularGraphs) {
+  const auto g = make_irregular_graph(32, 4, 99);
+  std::vector<std::size_t> identity(32);
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto perm = g.reorder(8);
+  EXPECT_LE(g.mapping_cost(perm, 8), g.mapping_cost(identity, 8) * 1.05);
+}
+
+TEST(NeighborAlltoall, CompletesAndCountsOnlyInterNode) {
+  MpiWorld world(8);
+  const auto g = make_ring_graph(8);
+  std::vector<SimTime> arrivals(8, 0);
+  // All ranks in one node: zero MPI messages.
+  std::vector<std::size_t> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto all_local =
+      neighbor_alltoall(world, g, kibibytes(4), arrivals, identity, 8);
+  EXPECT_EQ(all_local.messages, 0u);
+  // One rank per node: every edge is an MPI message.
+  const auto all_remote =
+      neighbor_alltoall(world, g, kibibytes(4), arrivals, identity, 1);
+  EXPECT_EQ(all_remote.messages, g.edge_count());
+  EXPECT_GT(all_remote.finish, all_local.finish);
+}
+
+TEST(NeighborAlltoall, ReorderingReducesMessages) {
+  MpiWorld world(16);
+  const auto g = make_stencil_graph(4, 4);
+  std::vector<SimTime> arrivals(16, 0);
+  std::vector<std::size_t> scrambled(16);
+  std::iota(scrambled.begin(), scrambled.end(), 0);
+  Rng rng(8);
+  rng.shuffle(scrambled);
+  const auto bad =
+      neighbor_alltoall(world, g, kibibytes(1), arrivals, scrambled, 4);
+  MpiWorld world2(16);
+  const auto perm = g.reorder(4);
+  const auto good =
+      neighbor_alltoall(world2, g, kibibytes(1), arrivals, perm, 4);
+  EXPECT_LE(good.messages, bad.messages);
+}
+
+}  // namespace
+}  // namespace ecoscale

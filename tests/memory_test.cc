@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "memory/cache.h"
+#include "memory/coherence.h"
+#include "memory/dram.h"
+
+namespace ecoscale {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.capacity = 1024;  // 2 sets × 8 ways × 64 B
+  c.line_size = 64;
+  c.ways = 8;
+  return c;
+}
+
+TEST(Dram, LatencyPlusBandwidth) {
+  DramConfig cfg;
+  cfg.access_latency = nanoseconds(50);
+  cfg.bandwidth = Bandwidth::from_gib_per_s(1.0);
+  DramChannel dram("d", cfg);
+  const auto r = dram.access(0, kibibytes(1));
+  EXPECT_EQ(r.finish,
+            nanoseconds(50) + cfg.bandwidth.transfer_time(kibibytes(1)));
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_EQ(dram.bytes_transferred(), kibibytes(1));
+}
+
+TEST(Dram, ChannelContention) {
+  DramChannel dram("d");
+  const auto a = dram.access(0, mebibytes(1));
+  const auto b = dram.access(0, mebibytes(1));
+  EXPECT_GT(b.finish, a.finish);
+}
+
+TEST(Cache, FillAndState) {
+  Cache c("c", tiny_cache());
+  EXPECT_EQ(c.state(10), LineState::kInvalid);
+  c.fill(10, LineState::kExclusive);
+  EXPECT_EQ(c.state(10), LineState::kExclusive);
+}
+
+TEST(Cache, TouchUpgradesOnWrite) {
+  Cache c("c", tiny_cache());
+  c.fill(10, LineState::kExclusive);
+  EXPECT_TRUE(c.touch(10, /*write=*/true));
+  EXPECT_EQ(c.state(10), LineState::kModified);
+  EXPECT_FALSE(c.touch(999, false));
+}
+
+TEST(Cache, WriteTouchOnSharedForbidden) {
+  Cache c("c", tiny_cache());
+  c.fill(10, LineState::kShared);
+  EXPECT_THROW(c.touch(10, /*write=*/true), CheckError);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  auto cfg = tiny_cache();
+  cfg.capacity = 256;  // 1 set... 256/(64*8)=0.5 -> invalid; use ways=4
+  cfg.ways = 4;
+  // 256 / (64*4) = 1 set.
+  Cache c("c", cfg);
+  for (std::uint64_t line = 0; line < 4; ++line) {
+    c.fill(line, LineState::kExclusive);
+  }
+  c.touch(0, false);  // 0 is now MRU; 1 is LRU
+  const auto res = c.fill(100, LineState::kExclusive);
+  EXPECT_TRUE(res.evicted);
+  EXPECT_EQ(res.victim_line, 1u);
+  EXPECT_EQ(c.state(1), LineState::kInvalid);
+  EXPECT_EQ(c.state(0), LineState::kExclusive);
+}
+
+TEST(Cache, DirtyEvictionTriggersWriteback) {
+  auto cfg = tiny_cache();
+  cfg.ways = 1;
+  cfg.capacity = 64;  // one line total
+  Cache c("c", cfg);
+  c.fill(0, LineState::kModified);
+  const auto res = c.fill(1, LineState::kExclusive);
+  EXPECT_TRUE(res.writeback);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, InvalidateReportsDirty) {
+  Cache c("c", tiny_cache());
+  c.fill(10, LineState::kModified);
+  EXPECT_TRUE(c.invalidate(10));
+  EXPECT_EQ(c.state(10), LineState::kInvalid);
+  c.fill(11, LineState::kShared);
+  EXPECT_FALSE(c.invalidate(11));
+  EXPECT_FALSE(c.invalidate(12));  // not present
+  EXPECT_EQ(c.snoop_invalidations(), 2u);
+}
+
+TEST(Cache, DowngradeKeepsData) {
+  Cache c("c", tiny_cache());
+  c.fill(10, LineState::kModified);
+  EXPECT_TRUE(c.downgrade(10));
+  EXPECT_EQ(c.state(10), LineState::kShared);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  CacheConfig bad;
+  bad.capacity = 100;  // not divisible by line*ways
+  EXPECT_THROW(Cache("c", bad), CheckError);
+}
+
+class CoherenceTest : public ::testing::TestWithParam<CoherenceMode> {
+ protected:
+  CoherenceTest() {
+    for (int i = 0; i < 4; ++i) {
+      caches_.push_back(
+          std::make_unique<Cache>("c" + std::to_string(i), tiny_cache()));
+    }
+    std::vector<Cache*> ptrs;
+    for (auto& c : caches_) ptrs.push_back(c.get());
+    domain_ = std::make_unique<CoherenceDomain>(ptrs, GetParam());
+  }
+  std::vector<std::unique_ptr<Cache>> caches_;
+  std::unique_ptr<CoherenceDomain> domain_;
+};
+
+TEST_P(CoherenceTest, FirstReadIsExclusive) {
+  domain_->read(0, 0x1000);
+  EXPECT_EQ(caches_[0]->state(caches_[0]->line_of(0x1000)),
+            LineState::kExclusive);
+  EXPECT_EQ(domain_->stats().memory_fetches, 1u);
+}
+
+TEST_P(CoherenceTest, SecondReaderSharesAndDowngradesOwner) {
+  domain_->read(0, 0x1000);
+  domain_->read(1, 0x1000);
+  const auto line = caches_[0]->line_of(0x1000);
+  EXPECT_EQ(caches_[0]->state(line), LineState::kShared);
+  EXPECT_EQ(caches_[1]->state(line), LineState::kShared);
+  EXPECT_EQ(domain_->stats().cache_to_cache, 1u);
+}
+
+TEST_P(CoherenceTest, WriteInvalidatesSharers) {
+  domain_->read(0, 0x1000);
+  domain_->read(1, 0x1000);
+  domain_->read(2, 0x1000);
+  domain_->write(3, 0x1000);
+  const auto line = caches_[0]->line_of(0x1000);
+  EXPECT_EQ(caches_[0]->state(line), LineState::kInvalid);
+  EXPECT_EQ(caches_[1]->state(line), LineState::kInvalid);
+  EXPECT_EQ(caches_[2]->state(line), LineState::kInvalid);
+  EXPECT_EQ(caches_[3]->state(line), LineState::kModified);
+  EXPECT_EQ(domain_->stats().invalidations, 3u);
+}
+
+TEST_P(CoherenceTest, WriteHitOnModifiedIsSilent) {
+  domain_->write(0, 0x1000);
+  const auto before = domain_->stats().snoop_messages;
+  domain_->write(0, 0x1000);
+  EXPECT_EQ(domain_->stats().snoop_messages, before);
+  EXPECT_EQ(domain_->stats().hits, 1u);
+}
+
+TEST_P(CoherenceTest, SharedUpgradeCountsAsHitButProbes) {
+  domain_->read(0, 0x1000);
+  domain_->read(1, 0x1000);
+  const auto before = domain_->stats().snoop_messages;
+  domain_->write(0, 0x1000);  // upgrade: probe + invalidate sharer
+  EXPECT_GT(domain_->stats().snoop_messages, before);
+  EXPECT_EQ(caches_[0]->state(caches_[0]->line_of(0x1000)),
+            LineState::kModified);
+  EXPECT_EQ(caches_[1]->state(caches_[1]->line_of(0x1000)),
+            LineState::kInvalid);
+}
+
+TEST_P(CoherenceTest, DirtyForwarding) {
+  domain_->write(0, 0x2000);
+  domain_->read(1, 0x2000);
+  EXPECT_EQ(domain_->stats().cache_to_cache, 1u);
+  const auto line = caches_[0]->line_of(0x2000);
+  EXPECT_EQ(caches_[0]->state(line), LineState::kShared);
+  EXPECT_EQ(caches_[1]->state(line), LineState::kShared);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CoherenceTest,
+                         ::testing::Values(CoherenceMode::kSnoopBroadcast,
+                                           CoherenceMode::kDirectory),
+                         [](const auto& info) {
+                           return info.param == CoherenceMode::kSnoopBroadcast
+                                      ? "Broadcast"
+                                      : "Directory";
+                         });
+
+TEST(CoherenceCost, BroadcastProbesEveryoneDirectoryOnlySharers) {
+  auto mk = [](CoherenceMode mode, std::size_t n) {
+    std::vector<std::unique_ptr<Cache>> caches;
+    std::vector<Cache*> ptrs;
+    for (std::size_t i = 0; i < n; ++i) {
+      caches.push_back(std::make_unique<Cache>("c", tiny_cache()));
+      ptrs.push_back(caches.back().get());
+    }
+    auto domain = std::make_unique<CoherenceDomain>(ptrs, mode);
+    // One miss with zero sharers.
+    const auto acc = domain->read(0, 0x1000);
+    return std::make_pair(std::move(caches), acc.snoop_messages);
+  };
+  const auto [c8, broadcast8] = mk(CoherenceMode::kSnoopBroadcast, 8);
+  const auto [c16, broadcast16] = mk(CoherenceMode::kSnoopBroadcast, 16);
+  const auto [d8, dir8] = mk(CoherenceMode::kDirectory, 8);
+  const auto [d16, dir16] = mk(CoherenceMode::kDirectory, 16);
+  EXPECT_EQ(broadcast8, 14u);   // 2*(8-1)
+  EXPECT_EQ(broadcast16, 30u);  // grows with domain size
+  EXPECT_EQ(dir8, 1u);          // directory lookup only
+  EXPECT_EQ(dir16, 1u);         // independent of domain size
+}
+
+}  // namespace
+}  // namespace ecoscale

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/check.h"
+#include "mpi/mpi.h"
+
+namespace ecoscale {
+namespace {
+
+std::vector<SimTime> zeros(std::size_t n) { return std::vector<SimTime>(n, 0); }
+
+TEST(MpiP2p, EagerSmallMessage) {
+  MpiWorld world(4);
+  const auto r = world.send(0, 1, 1024, 0);
+  EXPECT_GT(r.delivered, r.sent);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_EQ(world.messages_sent(), 1u);
+  EXPECT_EQ(world.bytes_sent(), 1024u);
+}
+
+TEST(MpiP2p, RendezvousAddsHandshake) {
+  MpiConfig cfg;
+  MpiWorld world(2, cfg);
+  const auto eager = world.send(0, 1, cfg.eager_threshold, 0);
+  MpiWorld world2(2, cfg);
+  const auto rndv = world2.send(0, 1, cfg.eager_threshold + 1, 0);
+  // The rendezvous message carries one more byte but pays an extra RTT.
+  const auto bw_time =
+      cfg.link.bandwidth.transfer_time(1);
+  EXPECT_GT(rndv.delivered, eager.delivered + bw_time);
+}
+
+TEST(MpiP2p, SelfSendSkipsNetwork) {
+  MpiWorld world(2);
+  const auto r = world.send(1, 1, 4096, 100);
+  EXPECT_EQ(r.delivered, r.sent);
+}
+
+TEST(MpiP2p, LargerMessagesTakeLonger) {
+  MpiWorld world(2);
+  const auto small = world.send(0, 1, 1024, 0);
+  MpiWorld world2(2);
+  const auto big = world2.send(0, 1, mebibytes(4), 0);
+  EXPECT_GT(big.delivered, small.delivered);
+}
+
+TEST(MpiDataPlane, FifoPerChannel) {
+  MpiWorld world(2);
+  const std::array<std::uint8_t, 3> a{1, 2, 3};
+  const std::array<std::uint8_t, 2> b{9, 8};
+  world.send_data(0, 1, a, 0, /*tag=*/5);
+  world.send_data(0, 1, b, 0, /*tag=*/5);
+  const auto first = world.recv_data(0, 1, 5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)[0], 1);
+  const auto second = world.recv_data(0, 1, 5);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->size(), 2u);
+  EXPECT_FALSE(world.recv_data(0, 1, 5).has_value());
+  EXPECT_FALSE(world.recv_data(0, 1, 6).has_value());  // other tag
+}
+
+class CollectiveSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollectiveSize, BarrierCompletesAfterLastArrival) {
+  MpiWorld world(GetParam());
+  std::vector<SimTime> arrivals(GetParam(), 0);
+  if (!arrivals.empty()) arrivals.back() = milliseconds(1);
+  const auto r = world.barrier(arrivals);
+  EXPECT_GE(r.finish, milliseconds(1));
+  ASSERT_EQ(r.per_rank.size(), GetParam());
+  for (const auto t : r.per_rank) EXPECT_GE(t, 0u);
+}
+
+TEST_P(CollectiveSize, BroadcastReachesEveryRank) {
+  MpiWorld world(GetParam());
+  const auto r = world.broadcast(0, kibibytes(4), zeros(GetParam()));
+  EXPECT_EQ(r.messages, GetParam() - 1);  // binomial tree: P-1 sends
+  for (const auto t : r.per_rank) {
+    if (GetParam() > 1) {
+      EXPECT_GE(r.finish, t);
+    }
+  }
+}
+
+TEST_P(CollectiveSize, ReduceConvergesAtRoot) {
+  MpiWorld world(GetParam());
+  const auto r = world.reduce(0, kibibytes(1), zeros(GetParam()));
+  EXPECT_EQ(r.messages, GetParam() - 1);
+  EXPECT_EQ(r.finish, r.per_rank[0]);
+}
+
+TEST_P(CollectiveSize, AllreduceSynchronisesAllRanks) {
+  MpiWorld world(GetParam());
+  const auto r = world.allreduce(kibibytes(1), zeros(GetParam()));
+  // Every rank ends with the same completion ceiling.
+  for (const auto t : r.per_rank) EXPECT_LE(t, r.finish);
+  if (GetParam() > 1) {
+    EXPECT_GT(r.messages, 0u);
+  }
+}
+
+TEST_P(CollectiveSize, AllgatherRingMessageCount) {
+  MpiWorld world(GetParam());
+  const auto r = world.allgather(kibibytes(1), zeros(GetParam()));
+  EXPECT_EQ(r.messages, GetParam() * (GetParam() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSize,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Collectives, BroadcastScalesLogarithmically) {
+  MpiWorld w4(4);
+  MpiWorld w16(16);
+  const auto r4 = w4.broadcast(0, kibibytes(64), zeros(4));
+  const auto r16 = w16.broadcast(0, kibibytes(64), zeros(16));
+  // log2(16)/log2(4) = 2: latency roughly doubles, not ×4.
+  EXPECT_LT(static_cast<double>(r16.finish),
+            2.6 * static_cast<double>(r4.finish));
+}
+
+TEST(Collectives, AlltoallQuadraticBytes) {
+  MpiWorld world(4);
+  const auto r = world.alltoall(kibibytes(1), zeros(4));
+  EXPECT_EQ(r.bytes_on_wire, 4u * 3u * kibibytes(1));
+}
+
+TEST(Collectives, NonPowerOfTwoRanksWork) {
+  MpiWorld world(5);
+  EXPECT_NO_THROW(world.allreduce(512, zeros(5)));
+  EXPECT_NO_THROW(world.alltoall(512, zeros(5)));
+  EXPECT_NO_THROW(world.broadcast(2, 512, zeros(5)));
+  EXPECT_NO_THROW(world.reduce(3, 512, zeros(5)));
+}
+
+TEST(CartTopology, RankCoordsRoundTrip) {
+  CartTopology cart({3, 4}, /*periodic=*/false);
+  EXPECT_EQ(cart.size(), 12u);
+  for (std::size_t r = 0; r < cart.size(); ++r) {
+    EXPECT_EQ(cart.rank_of(cart.coords_of(r)), r);
+  }
+}
+
+TEST(CartTopology, NonPeriodicBoundary) {
+  CartTopology cart({3, 3}, false);
+  EXPECT_FALSE(cart.shift(0, 0, -1).has_value());  // corner
+  EXPECT_TRUE(cart.shift(0, 0, 1).has_value());
+  EXPECT_EQ(cart.neighbors(4).size(), 4u);  // center has all 4
+  EXPECT_EQ(cart.neighbors(0).size(), 2u);  // corner has 2
+}
+
+TEST(CartTopology, PeriodicWrapsAround) {
+  CartTopology cart({4}, true);
+  EXPECT_EQ(cart.shift(0, 0, -1).value(), 3u);
+  EXPECT_EQ(cart.shift(3, 0, 1).value(), 0u);
+  EXPECT_EQ(cart.neighbors(0).size(), 2u);
+}
+
+TEST(CartTopology, ShiftMovesAlongOneDim) {
+  CartTopology cart({3, 3}, false);
+  // rank = x*3 + y with dims {3,3}: shifting dim 0 moves by 3.
+  const auto n = cart.shift(0, 0, 1);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 3u);
+  const auto m = cart.shift(0, 1, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 1u);
+}
+
+}  // namespace
+}  // namespace ecoscale

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "runtime/numa_policy.h"
+
+namespace ecoscale {
+namespace {
+
+PgasConfig machine() {
+  PgasConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 2;
+  return cfg;
+}
+
+TEST(Numa, StaticHomeNeverActs) {
+  PgasSystem pgas(machine());
+  NumaManager numa(pgas, NumaConfig{});
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t = numa.load({1, 0}, data, 8, t).finish;
+  }
+  EXPECT_EQ(numa.stats().migrations, 0u);
+  EXPECT_EQ(numa.stats().replicas_created, 0u);
+  EXPECT_TRUE(pgas.directory().cacheable_at(page_of(data), 0));
+}
+
+TEST(Numa, MigratesHotPageToRemoteUser) {
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kMigrateOnHot;
+  cfg.migrate_threshold = 8;
+  NumaManager numa(pgas, cfg);
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 8; ++i) {
+    t = numa.load({2, 0}, data, 8, t).finish;
+  }
+  EXPECT_EQ(numa.stats().migrations, 1u);
+  EXPECT_TRUE(pgas.directory().cacheable_at(page_of(data), 2));
+  // Subsequent accesses from node 2 are local.
+  const auto after = numa.load({2, 0}, data, 8, t);
+  EXPECT_FALSE(after.remote);
+}
+
+TEST(Numa, MigrationNotTriggeredByOwnerAccesses) {
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kMigrateOnHot;
+  cfg.migrate_threshold = 4;
+  NumaManager numa(pgas, cfg);
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t = numa.load({0, 1}, data, 8, t).finish;  // same node as owner
+  }
+  EXPECT_EQ(numa.stats().migrations, 0u);
+}
+
+TEST(Numa, ReplicatesAfterRemoteReads) {
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kReplicateReadMostly;
+  cfg.replicate_threshold = 4;
+  NumaManager numa(pgas, cfg);
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  SimDuration last_remote_latency = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto r = numa.load({3, 0}, data, 8, t);
+    last_remote_latency = r.finish - t;
+    t = r.finish;
+  }
+  ASSERT_TRUE(numa.has_replica(page_of(data), 3));
+  EXPECT_EQ(numa.stats().replicas_created, 1u);
+  // Replica hit: served locally, faster than the remote access was.
+  const auto hit = numa.load({3, 0}, data, 8, t);
+  EXPECT_FALSE(hit.remote);
+  EXPECT_LT(hit.finish - t, last_remote_latency);
+  EXPECT_GE(numa.stats().replica_hits, 1u);
+}
+
+TEST(Numa, WriteInvalidatesReplicas) {
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kReplicateReadMostly;
+  cfg.replicate_threshold = 2;
+  NumaManager numa(pgas, cfg);
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i) t = numa.load({1, 0}, data, 8, t).finish;
+  for (int i = 0; i < 3; ++i) t = numa.load({2, 0}, data, 8, t).finish;
+  ASSERT_TRUE(numa.has_replica(page_of(data), 1));
+  ASSERT_TRUE(numa.has_replica(page_of(data), 2));
+  // A write (even from the owner) invalidates both replicas.
+  t = numa.store({0, 0}, data, 8, t).finish;
+  EXPECT_FALSE(numa.has_replica(page_of(data), 1));
+  EXPECT_FALSE(numa.has_replica(page_of(data), 2));
+  EXPECT_EQ(numa.stats().invalidations, 2u);
+  // The next read is remote again (replica gone).
+  const auto r = numa.load({1, 0}, data, 8, t);
+  EXPECT_TRUE(r.remote);
+}
+
+TEST(Numa, ReplicaReadsObserveLaterWrites) {
+  // Functional coherence: after an invalidating write, readers see the
+  // new value (the backing store is single-copy; replicas only change
+  // the timing path).
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kReplicateReadMostly;
+  cfg.replicate_threshold = 2;
+  NumaManager numa(pgas, cfg);
+  const auto data = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i) t = numa.load({1, 0}, data, 8, t).finish;
+  const std::array<std::uint8_t, 4> value{1, 2, 3, 4};
+  pgas.write_bytes(data, value);
+  t = numa.store({0, 0}, data, 4, t).finish;
+  std::array<std::uint8_t, 4> out{};
+  pgas.read_bytes(data, out);
+  EXPECT_EQ(out, value);
+}
+
+TEST(Numa, PingPongDoesNotThrashReplication) {
+  PgasSystem pgas(machine());
+  NumaConfig cfg;
+  cfg.policy = NumaPolicy::kReplicateReadMostly;
+  NumaManager numa(pgas, cfg);
+  const auto flag = pgas.alloc(0, 0, kPageSize);
+  SimTime t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t = numa.store({static_cast<NodeId>(i % 2), 0}, flag, 8, t).finish;
+  }
+  EXPECT_EQ(numa.stats().replicas_created, 0u);  // writes never replicate
+}
+
+}  // namespace
+}  // namespace ecoscale

@@ -1,0 +1,226 @@
+// Second property-test suite: randomised differential and invariant checks
+// on the stateful subsystems.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "hls/dse.h"
+#include "runtime/scheduler.h"
+#include "sim/timeline.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+namespace {
+
+// --- PGAS backing store vs. a flat reference model -----------------------------
+
+class PgasFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PgasFuzz, MatchesReferenceByteModel) {
+  Rng rng(GetParam());
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  PgasSystem pgas(cfg);
+  constexpr Bytes kSize = 3 * kPageSize + 123;
+  const auto base = pgas.alloc(1, 1, kSize);
+  std::vector<std::uint8_t> reference(kSize, 0);
+  for (int op = 0; op < 300; ++op) {
+    const Bytes offset = rng.uniform_u64(kSize);
+    const Bytes len = 1 + rng.uniform_u64(std::min<Bytes>(kSize - offset,
+                                                          2 * kPageSize));
+    if (rng.chance(0.5)) {
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      pgas.write_bytes(base + offset, data);
+      std::copy(data.begin(), data.end(), reference.begin() + offset);
+    } else {
+      std::vector<std::uint8_t> out(len);
+      pgas.read_bytes(base + offset, out);
+      for (Bytes i = 0; i < len; ++i) {
+        ASSERT_EQ(out[i], reference[offset + i])
+            << "mismatch at offset " << offset + i << " op " << op;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PgasFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- atomics linearise: concurrent counter reaches the exact total ---------------
+
+class AtomicFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AtomicFuzz, FetchAddTotalsExactly) {
+  Rng rng(GetParam());
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  const auto counter = pgas.alloc(0, 0, 64);
+  std::uint64_t expected = 0;
+  std::vector<SimTime> clocks(pgas.worker_count(), 0);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t w = rng.uniform_u64(pgas.worker_count());
+    const std::uint64_t delta = rng.uniform_u64(100);
+    const auto r = pgas.atomic_rmw(pgas.coord(w), counter,
+                                   AtomicOp::kFetchAdd, delta, clocks[w]);
+    clocks[w] = r.finish;
+    expected += delta;
+  }
+  const auto final = pgas.atomic_rmw({0, 0}, counter, AtomicOp::kFetchAdd,
+                                     0, milliseconds(100));
+  EXPECT_EQ(final.old_value, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicFuzz, ::testing::Values(7, 8, 9));
+
+// --- CalendarTimeline: intervals never overlap ------------------------------------
+
+class CalendarFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalendarFuzz, NoTwoReservationsOverlap) {
+  Rng rng(GetParam());
+  CalendarTimeline tl;
+  std::vector<std::pair<SimTime, SimTime>> intervals;
+  SimDuration total = 0;
+  for (int i = 0; i < 600; ++i) {
+    const SimTime ready = rng.uniform_u64(100000);
+    const SimDuration service = 1 + rng.uniform_u64(500);
+    const SimTime start = tl.reserve(ready, service);
+    ASSERT_GE(start, ready);
+    intervals.emplace_back(start, start + service);
+    total += service;
+  }
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    ASSERT_LE(intervals[i - 1].second, intervals[i].first)
+        << "overlap between reservations " << i - 1 << " and " << i;
+  }
+  EXPECT_EQ(tl.busy_time(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalendarFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- scheduler conservation across the policy grid --------------------------------
+
+using PolicyPoint = std::tuple<PlacementPolicy, DistributionPolicy, bool>;
+
+class SchedulerGrid : public ::testing::TestWithParam<PolicyPoint> {};
+
+TEST_P(SchedulerGrid, EveryTaskCompletesExactlyOnce) {
+  const auto [placement, distribution, share] = GetParam();
+  MachineConfig mc;
+  mc.nodes = 2;
+  mc.workers_per_node = 4;
+  Machine machine(mc);
+  Simulator sim;
+  RuntimeConfig rc;
+  rc.placement = placement;
+  rc.distribution = distribution;
+  rc.share_fabric = share;
+  rc.spill_depth = 2;
+  RuntimeSystem runtime(machine, sim, rc);
+  const auto kernels = {make_stencil5_kernel(), make_montecarlo_kernel()};
+  for (const auto& k : kernels) {
+    runtime.register_kernel(k, emit_variants(k, 2));
+  }
+  Rng rng(99);
+  constexpr int kTasks = 60;
+  for (TaskId i = 0; i < kTasks; ++i) {
+    Task t;
+    t.id = i;
+    const auto& k = *(kernels.begin() + (i % 2));
+    t.kernel = k.id;
+    t.items = 1000 + rng.uniform_u64(100000);
+    t.features.items = static_cast<double>(t.items);
+    t.home = WorkerCoord{static_cast<NodeId>(rng.uniform_u64(2)),
+                         static_cast<WorkerId>(rng.uniform_u64(4))};
+    t.release = rng.uniform_u64(milliseconds(5));
+    runtime.submit(t);
+  }
+  runtime.run();
+  // Conservation: exactly one result per task id; time sanity per result.
+  std::map<TaskId, int> seen;
+  for (const auto& r : runtime.results()) {
+    ++seen[r.id];
+    EXPECT_GE(r.started, r.release);
+    EXPECT_GT(r.finished, r.started);
+    EXPECT_GE(r.energy, 0.0);
+    EXPECT_LT(r.executed_on, machine.worker_count());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << "task " << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulerGrid,
+    ::testing::Combine(
+        ::testing::Values(PlacementPolicy::kAlwaysSoftware,
+                          PlacementPolicy::kAlwaysHardware,
+                          PlacementPolicy::kSizeThreshold,
+                          PlacementPolicy::kModelBased),
+        ::testing::Values(DistributionPolicy::kHomeOnly,
+                          DistributionPolicy::kLazyLocal,
+                          DistributionPolicy::kCentralized,
+                          DistributionPolicy::kPollLeastLoaded),
+        ::testing::Bool()));
+
+// --- reconfiguration: floorplan consistency under random runtime churn ----------
+
+class ReconfigChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReconfigChurn, LoadedSetAlwaysMatchesFloorplan) {
+  Rng rng(GetParam());
+  ReconfigConfig cfg;
+  cfg.fabric_width = 8;
+  cfg.fabric_height = 8;
+  ReconfigManager mgr("f", cfg);
+  std::vector<AcceleratorModule> lib;
+  for (const auto& k :
+       {make_stencil5_kernel(), make_matmul_tile_kernel(),
+        make_montecarlo_kernel(), make_cart_split_kernel(),
+        make_sha_like_kernel(), make_spmv_kernel(), make_fft_kernel()}) {
+    lib.push_back(emit_variants(k, 1).front());
+  }
+  SimTime now = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += microseconds(100);
+    const auto& m = lib[rng.uniform_u64(lib.size())];
+    if (rng.chance(0.7)) {
+      const auto r = mgr.ensure_loaded(m, now);
+      if (r) {
+        EXPECT_TRUE(mgr.is_loaded(m.kernel));
+        EXPECT_TRUE(mgr.floorplan().is_live(r->region));
+        if (rng.chance(0.5)) {
+          mgr.set_busy_until(r->region, r->ready + microseconds(50));
+        }
+      }
+    } else if (mgr.is_loaded(m.kernel) &&
+               mgr.is_idle(m.kernel, now)) {
+      mgr.unload(m.kernel);
+      EXPECT_FALSE(mgr.is_loaded(m.kernel));
+    }
+    // Invariant: every loaded kernel has a live region; used slots equal
+    // the sum of loaded shapes.
+    std::size_t expected_slots = 0;
+    for (const auto& mod : lib) {
+      if (mgr.is_loaded(mod.kernel)) {
+        const auto region = mgr.region_of(mod.kernel);
+        ASSERT_TRUE(region.has_value());
+        ASSERT_TRUE(mgr.floorplan().is_live(*region));
+        expected_slots += mgr.floorplan().placement(*region).shape.slots();
+      }
+    }
+    EXPECT_EQ(mgr.floorplan().used_slots(), expected_slots);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigChurn, ::testing::Values(3, 6, 9));
+
+}  // namespace
+}  // namespace ecoscale

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(50, [&] { order.push_back(1); });
+  sim.schedule_at(50, [&] { order.push_back(2); });
+  sim.schedule_at(50, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_at(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), CheckError);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(300, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(200));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_FALSE(sim.run_until(400));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, IdleWhenEmpty) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Timeline, NoContentionStartsAtReady) {
+  Timeline tl;
+  EXPECT_EQ(tl.reserve(100, 50), 100u);
+  EXPECT_EQ(tl.next_free(), 150u);
+}
+
+TEST(Timeline, ContentionSerializes) {
+  Timeline tl;
+  tl.reserve(0, 100);
+  EXPECT_EQ(tl.reserve(10, 100), 100u);  // waits for the first
+  EXPECT_EQ(tl.reserve(500, 10), 500u);  // idle gap, starts at ready
+  EXPECT_EQ(tl.busy_time(), 210u);
+  EXPECT_EQ(tl.reservations(), 3u);
+}
+
+TEST(Timeline, ReserveUntilReturnsCompletion) {
+  Timeline tl;
+  EXPECT_EQ(tl.reserve_until(100, 25), 125u);
+}
+
+TEST(Timeline, Utilization) {
+  Timeline tl;
+  tl.reserve(0, 500);
+  EXPECT_DOUBLE_EQ(tl.utilization(1000), 0.5);
+  EXPECT_DOUBLE_EQ(tl.utilization(0), 0.0);
+}
+
+TEST(Timeline, ResetClearsState) {
+  Timeline tl;
+  tl.reserve(0, 100);
+  tl.reset();
+  EXPECT_EQ(tl.next_free(), 0u);
+  EXPECT_EQ(tl.busy_time(), 0u);
+}
+
+TEST(CalendarTimeline, BackfillsGaps) {
+  CalendarTimeline tl;
+  // A future reservation must not block an earlier-ready one.
+  EXPECT_EQ(tl.reserve(1000, 100), 1000u);
+  EXPECT_EQ(tl.reserve(0, 100), 0u);  // fits in the gap before 1000
+  EXPECT_EQ(tl.reserve(0, 950), 1100u);  // too big for [100,1000): after
+  EXPECT_EQ(tl.busy_time(), 1150u);
+}
+
+TEST(CalendarTimeline, ExactGapFit) {
+  CalendarTimeline tl;
+  tl.reserve(0, 100);     // [0,100)
+  tl.reserve(200, 100);   // [200,300)
+  EXPECT_EQ(tl.reserve(0, 100), 100u);  // exactly fills [100,200)
+  EXPECT_EQ(tl.reserve(0, 1), 300u);    // nothing left before 300
+}
+
+TEST(CalendarTimeline, OverlappingReadySlidesForward) {
+  CalendarTimeline tl;
+  tl.reserve(0, 100);
+  EXPECT_EQ(tl.reserve(50, 10), 100u);  // ready inside a busy interval
+}
+
+TEST(CalendarTimeline, ZeroServiceIsFree) {
+  CalendarTimeline tl;
+  tl.reserve(0, 100);
+  EXPECT_EQ(tl.reserve(50, 0), 50u);
+}
+
+TEST(CalendarTimeline, MatchesTimelineForInOrderLoads) {
+  // When reservations arrive in nondecreasing ready order with no gaps,
+  // the calendar behaves like the plain FIFO timeline.
+  Timeline fifo;
+  CalendarTimeline cal;
+  Rng rng(3);
+  SimTime ready = 0;
+  for (int i = 0; i < 200; ++i) {
+    ready += rng.uniform_u64(50);
+    const SimDuration service = 1 + rng.uniform_u64(30);
+    EXPECT_EQ(fifo.reserve(ready, service), cal.reserve(ready, service));
+  }
+  EXPECT_EQ(fifo.busy_time(), cal.busy_time());
+}
+
+TEST(Server, ProcessesFifo) {
+  Simulator sim;
+  Server server(sim, "s");
+  std::vector<SimTime> finishes;
+  server.submit(100, [&](SimTime t) { finishes.push_back(t); });
+  server.submit(50, [&](SimTime t) { finishes.push_back(t); });
+  sim.run();
+  EXPECT_EQ(finishes, (std::vector<SimTime>{100, 150}));
+  EXPECT_EQ(server.completed(), 2u);
+  EXPECT_EQ(server.busy_time(), 150u);
+}
+
+TEST(Server, QueueLengthTracksBacklog) {
+  Simulator sim;
+  Server server(sim, "s");
+  server.submit(100, nullptr);
+  server.submit(100, nullptr);
+  server.submit(100, nullptr);
+  EXPECT_EQ(server.queue_length(), 3u);
+  sim.run();
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+TEST(Server, CompletionCanSubmitMore) {
+  Simulator sim;
+  Server server(sim, "s");
+  int chain = 0;
+  std::function<void(SimTime)> next = [&](SimTime) {
+    if (++chain < 3) server.submit(10, next);
+  };
+  server.submit(10, next);
+  sim.run();
+  EXPECT_EQ(chain, 3);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Server, SubmittedAfterIdleResumesAtCurrentTime) {
+  Simulator sim;
+  Server server(sim, "s");
+  SimTime second_finish = 0;
+  server.submit(10, nullptr);
+  sim.run();
+  sim.schedule_at(100, [&] {
+    server.submit(5, [&](SimTime t) { second_finish = t; });
+  });
+  sim.run();
+  EXPECT_EQ(second_finish, 105u);
+}
+
+}  // namespace
+}  // namespace ecoscale

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/check.h"
+#include "unimem/pgas.h"
+#include "unimem/sync.h"
+
+namespace ecoscale {
+namespace {
+
+PgasConfig small_pgas() {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  return cfg;
+}
+
+TEST(Pgas, AllocRegistersOwnership) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(1, 0, 2 * kPageSize);
+  EXPECT_EQ(addr.node(), 1);
+  EXPECT_EQ(addr.worker(), 0);
+  EXPECT_TRUE(pgas.directory().cacheable_at(page_of(addr), 1));
+  EXPECT_TRUE(
+      pgas.directory().cacheable_at(page_of(addr + kPageSize), 1));
+  EXPECT_FALSE(pgas.directory().cacheable_at(page_of(addr), 0));
+}
+
+TEST(Pgas, AllocationsDoNotOverlap) {
+  PgasSystem pgas(small_pgas());
+  const auto a = pgas.alloc(0, 0, 100);
+  const auto b = pgas.alloc(0, 0, 100);
+  EXPECT_GE(b.offset(), a.offset() + 100);
+}
+
+TEST(Pgas, FunctionalStoreRoundTrip) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 1, 3 * kPageSize);
+  std::vector<std::uint8_t> data(2 * kPageSize + 100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  // Cross-page write at a non-zero offset.
+  pgas.write_bytes(addr + 50, data);
+  std::vector<std::uint8_t> out(data.size());
+  pgas.read_bytes(addr + 50, out);
+  EXPECT_EQ(out, data);
+  // Unwritten memory reads as zero.
+  std::array<std::uint8_t, 4> zeros{};
+  std::array<std::uint8_t, 4> probe{1, 2, 3, 4};
+  pgas.read_bytes(pgas.alloc(1, 1, 64), probe);
+  EXPECT_EQ(probe, zeros);
+}
+
+TEST(Pgas, LocalAccessStaysOnNode) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 0, kPageSize);
+  const auto r = pgas.load({0, 1}, addr, 64, 0);  // same node, other worker
+  EXPECT_FALSE(r.remote);
+  EXPECT_EQ(pgas.local_accesses(), 1u);
+  EXPECT_EQ(pgas.remote_accesses(), 0u);
+}
+
+TEST(Pgas, RemoteAccessCrossesNodeAndIsNotCached) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 0, kPageSize);
+  const auto first = pgas.load({1, 0}, addr, 64, 0);
+  EXPECT_TRUE(first.remote);
+  EXPECT_FALSE(first.cache_hit);
+  // Repeat: still remote, still no cache hit (UNIMEM: remote data is not
+  // cacheable at the requester).
+  const auto second = pgas.load({1, 0}, addr, 64, first.finish);
+  EXPECT_TRUE(second.remote);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(pgas.remote_accesses(), 2u);
+}
+
+TEST(Pgas, LocalCachingWarmsUp) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 0, kPageSize);
+  const auto miss = pgas.load({0, 0}, addr, 8, 0);
+  EXPECT_FALSE(miss.cache_hit);
+  const auto hit = pgas.load({0, 0}, addr, 8, miss.finish);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_LT(hit.finish - miss.finish, miss.finish);
+}
+
+TEST(Pgas, RemoteCostsMoreThanLocal) {
+  PgasSystem pgas(small_pgas());
+  const auto local_addr = pgas.alloc(0, 0, kPageSize);
+  const auto remote_addr = pgas.alloc(1, 0, kPageSize);
+  const auto local = pgas.load({0, 0}, local_addr, 64, 0);
+  const auto remote = pgas.load({0, 0}, remote_addr, 64, 0);
+  EXPECT_GT(remote.finish, local.finish);
+  EXPECT_GT(remote.energy, local.energy);
+}
+
+TEST(Pgas, PageMigrationFlipsOwnershipAndCacheability) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 0, kPageSize);
+  const PageId page = page_of(addr);
+  // Warm the old owner's cache so migration must flush.
+  (void)pgas.load({0, 0}, addr, 8, 0);
+  const auto mig = pgas.migrate_page(page, 1, microseconds(10));
+  EXPECT_GT(mig.finish, microseconds(10));
+  EXPECT_EQ(mig.bytes_moved, kPageSize);
+  EXPECT_TRUE(pgas.directory().cacheable_at(page, 1));
+  // The flushed line is gone from the old owner's cache.
+  EXPECT_EQ(pgas.cache({0, 0}).state(addr.raw() / 64), LineState::kInvalid);
+  // Node 0's access is now remote.
+  const auto after = pgas.load({0, 0}, addr, 8, mig.finish);
+  EXPECT_TRUE(after.remote);
+}
+
+TEST(Pgas, MigrationToSelfIsFree) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(0, 0, kPageSize);
+  const auto mig = pgas.migrate_page(page_of(addr), 0, 100);
+  EXPECT_EQ(mig.finish, 100u);
+  EXPECT_EQ(mig.bytes_moved, 0u);
+}
+
+TEST(Pgas, TaskMigrationCheaperThanBulkData) {
+  PgasSystem pgas(small_pgas());
+  const auto addr = pgas.alloc(1, 0, mebibytes(1));
+  // Move task: one closure message.
+  const auto task = pgas.migrate_task({0, 0}, {1, 0}, 0);
+  // Move data: 1 MiB DMA from the remote node.
+  const auto data = pgas.dma({0, 0}, addr, mebibytes(1), false, 0);
+  EXPECT_LT(task.finish, data.finish);
+  EXPECT_LT(task.energy, data.energy);
+}
+
+TEST(Pgas, TaskMigrationToSelfIsFree) {
+  PgasSystem pgas(small_pgas());
+  const auto r = pgas.migrate_task({0, 0}, {0, 0}, 42);
+  EXPECT_EQ(r.finish, 42u);
+  EXPECT_DOUBLE_EQ(r.energy, 0.0);
+}
+
+TEST(Pgas, AccessToUnregisteredPageThrows) {
+  PgasSystem pgas(small_pgas());
+  const GlobalAddress bogus(0, 0, 0x100000);
+  EXPECT_THROW(pgas.load({0, 0}, bogus, 8, 0), CheckError);
+}
+
+TEST(Pgas, FlatCoordRoundTrip) {
+  PgasSystem pgas(small_pgas());
+  for (std::size_t i = 0; i < pgas.worker_count(); ++i) {
+    EXPECT_EQ(pgas.flat(pgas.coord(i)), i);
+  }
+}
+
+// --- synchronisation ---------------------------------------------------------
+
+class BarrierTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrierTest, TreeBarrierReleasesAfterLastArrival) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = GetParam();
+  PgasSystem pgas(cfg);
+  std::vector<WorkerCoord> workers;
+  std::vector<SimTime> arrivals;
+  for (std::size_t i = 0; i < pgas.worker_count(); ++i) {
+    workers.push_back(pgas.coord(i));
+    arrivals.push_back(microseconds(i));  // straggler is the last worker
+  }
+  const auto r = tree_barrier(pgas, workers, arrivals);
+  EXPECT_GT(r.finish, arrivals.back());
+  EXPECT_GT(r.messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(Barrier, TreeBeatsFlatAtScale) {
+  PgasConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 8;
+  PgasSystem pgas(cfg);
+  std::vector<WorkerCoord> workers;
+  std::vector<SimTime> arrivals;
+  for (std::size_t i = 0; i < pgas.worker_count(); ++i) {
+    workers.push_back(pgas.coord(i));
+    arrivals.push_back(0);
+  }
+  PgasSystem pgas2(cfg);  // fresh timelines for a fair comparison
+  const auto tree = tree_barrier(pgas, workers, arrivals);
+  const auto flat = flat_barrier(pgas2, workers, arrivals);
+  EXPECT_LT(tree.finish, flat.finish);
+}
+
+TEST(Barrier, SingleWorkerTrivial) {
+  PgasSystem pgas(small_pgas());
+  const std::array workers{WorkerCoord{0, 0}};
+  const std::array arrivals{microseconds(5)};
+  const auto r = tree_barrier(pgas, workers, arrivals);
+  EXPECT_EQ(r.finish, microseconds(5));
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Mailbox, SignalDeliversWithInterruptLatency) {
+  PgasSystem pgas(small_pgas());
+  const auto r = mailbox_signal(pgas, {0, 0}, {1, 1}, 0);
+  EXPECT_GT(r.finish, nanoseconds(500));
+  EXPECT_EQ(r.messages, 1u);
+}
+
+}  // namespace
+}  // namespace ecoscale
