@@ -72,51 +72,63 @@ ExchangeResult neighbour_exchange(Network& net, Bytes bytes) {
 }  // namespace
 }  // namespace ecoscale
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ecoscale;
+  bench::init(argc, argv);
   bench::print_header(
       "EXP-F1-hops",
       "hierarchical tree keeps neighbour exchanges local (claim C1)");
 
   const Bytes halo = kibibytes(32);
 
+  // One sweep point per machine size; each point builds its own topologies
+  // and Networks, so points are independent and the parallel run is
+  // byte-identical to the sequential one.
+  const std::vector<std::size_t> machine_sizes{64, 512, 4096};
   Table scale({"workers", "topology", "diameter", "mean hops", "exchange time",
                "energy", "byte-hops"});
-  for (const std::size_t workers : {64u, 512u, 4096u}) {
-    struct Entry {
-      std::string name;
-      Topology topo;
-      bool shared_medium = false;
-    };
-    std::vector<Entry> topologies;
-    // Tree of radix 8 per level (the ECOSCALE multi-layer hierarchy).
-    std::vector<std::size_t> radices;
-    for (std::size_t n = workers; n > 1; n /= 8) radices.push_back(8);
-    topologies.push_back({"tree(radix 8)", make_tree(radices), false});
-    // Flat baselines that actually exist at scale: a 2-D mesh and (for the
-    // small size) a shared bus. A single-stage N-port crossbar is not
-    // implementable for these N.
-    const auto side = static_cast<std::size_t>(std::sqrt(workers));
-    topologies.push_back({"2-D mesh", make_mesh2d(side, side), false});
-    if (workers == 64) {
-      topologies.push_back({"shared bus", make_bus(workers), true});
-      topologies.push_back({"dragonfly", make_dragonfly(4, 4, 4), false});
-    } else if (workers == 512) {
-      topologies.push_back({"dragonfly", make_dragonfly(8, 8, 8), false});
-    } else {
-      topologies.push_back({"dragonfly", make_dragonfly(16, 16, 16), false});
-    }
-    for (auto& e : topologies) {
-      auto cfg = hier_params();
-      cfg.shared_medium = e.shared_medium;
-      Network net(std::move(e.topo), cfg);
-      const auto r = neighbour_exchange(net, halo);
-      scale.add_row({fmt_u64(workers), e.name, fmt_u64(net.diameter()),
-                     fmt_fixed(r.mean_hops, 2),
-                     fmt_time_ps(static_cast<double>(r.finish)),
-                     fmt_fixed(r.energy_uj, 1) + " uJ",
-                     fmt_bytes(static_cast<double>(r.byte_hops))});
-    }
+  for (auto& rows :
+       bench::parallel_sweep(machine_sizes.size(), [&](std::size_t idx) {
+         const std::size_t workers = machine_sizes[idx];
+         struct Entry {
+           std::string name;
+           Topology topo;
+           bool shared_medium = false;
+         };
+         std::vector<Entry> topologies;
+         // Tree of radix 8 per level (the ECOSCALE multi-layer hierarchy).
+         std::vector<std::size_t> radices;
+         for (std::size_t n = workers; n > 1; n /= 8) radices.push_back(8);
+         topologies.push_back({"tree(radix 8)", make_tree(radices), false});
+         // Flat baselines that actually exist at scale: a 2-D mesh and (for
+         // the small size) a shared bus. A single-stage N-port crossbar is
+         // not implementable for these N.
+         const auto side = static_cast<std::size_t>(std::sqrt(workers));
+         topologies.push_back({"2-D mesh", make_mesh2d(side, side), false});
+         if (workers == 64) {
+           topologies.push_back({"shared bus", make_bus(workers), true});
+           topologies.push_back({"dragonfly", make_dragonfly(4, 4, 4), false});
+         } else if (workers == 512) {
+           topologies.push_back({"dragonfly", make_dragonfly(8, 8, 8), false});
+         } else {
+           topologies.push_back(
+               {"dragonfly", make_dragonfly(16, 16, 16), false});
+         }
+         std::vector<std::vector<std::string>> rows;
+         for (auto& e : topologies) {
+           auto cfg = hier_params();
+           cfg.shared_medium = e.shared_medium;
+           Network net(std::move(e.topo), cfg);
+           const auto r = neighbour_exchange(net, halo);
+           rows.push_back({fmt_u64(workers), e.name, fmt_u64(net.diameter()),
+                           fmt_fixed(r.mean_hops, 2),
+                           fmt_time_ps(static_cast<double>(r.finish)),
+                           fmt_fixed(r.energy_uj, 1) + " uJ",
+                           fmt_bytes(static_cast<double>(r.byte_hops))});
+         }
+         return rows;
+       })) {
+    for (auto& row : rows) scale.add_row(std::move(row));
   }
   bench::print_table(
       scale,
@@ -141,31 +153,36 @@ int main() {
 
   // Barrier synchronisation: hierarchical combine vs. flat hub, including
   // a three-level (chassis) machine at the largest size.
+  const std::vector<std::size_t> barrier_sizes{8, 32, 128, 512};
   Table barrier({"workers", "tree barrier", "flat barrier", "speedup"});
-  for (const std::size_t total : {8u, 32u, 128u, 512u}) {
-    PgasConfig cfg;
-    cfg.workers_per_node = 8;
-    cfg.nodes = total / 8;
-    if (cfg.nodes == 0) {
-      cfg.nodes = 1;
-      cfg.workers_per_node = total;
-    }
-    if (cfg.nodes >= 16) cfg.chassis = cfg.nodes / 8;  // 8 nodes/chassis
-    std::vector<WorkerCoord> workers;
-    std::vector<SimTime> arrivals;
-    PgasSystem tree_sys(cfg);
-    PgasSystem flat_sys(cfg);
-    for (std::size_t i = 0; i < total; ++i) {
-      workers.push_back(tree_sys.coord(i));
-      arrivals.push_back(0);
-    }
-    const auto tree = tree_barrier(tree_sys, workers, arrivals);
-    const auto flat = flat_barrier(flat_sys, workers, arrivals);
-    barrier.add_row({fmt_u64(total),
-                     fmt_time_ps(static_cast<double>(tree.finish)),
-                     fmt_time_ps(static_cast<double>(flat.finish)),
-                     fmt_ratio(static_cast<double>(flat.finish) /
-                               static_cast<double>(tree.finish))});
+  for (auto& row :
+       bench::parallel_sweep(barrier_sizes.size(), [&](std::size_t idx) {
+         const std::size_t total = barrier_sizes[idx];
+         PgasConfig cfg;
+         cfg.workers_per_node = 8;
+         cfg.nodes = total / 8;
+         if (cfg.nodes == 0) {
+           cfg.nodes = 1;
+           cfg.workers_per_node = total;
+         }
+         if (cfg.nodes >= 16) cfg.chassis = cfg.nodes / 8;  // 8 nodes/chassis
+         std::vector<WorkerCoord> workers;
+         std::vector<SimTime> arrivals;
+         PgasSystem tree_sys(cfg);
+         PgasSystem flat_sys(cfg);
+         for (std::size_t i = 0; i < total; ++i) {
+           workers.push_back(tree_sys.coord(i));
+           arrivals.push_back(0);
+         }
+         const auto tree = tree_barrier(tree_sys, workers, arrivals);
+         const auto flat = flat_barrier(flat_sys, workers, arrivals);
+         return std::vector<std::string>{
+             fmt_u64(total), fmt_time_ps(static_cast<double>(tree.finish)),
+             fmt_time_ps(static_cast<double>(flat.finish)),
+             fmt_ratio(static_cast<double>(flat.finish) /
+                       static_cast<double>(tree.finish))};
+       })) {
+    barrier.add_row(std::move(row));
   }
   bench::print_table(barrier, "Barrier latency, hierarchical vs. flat hub:");
   return 0;

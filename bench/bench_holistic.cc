@@ -133,6 +133,10 @@ AppOutcome run_app(const AppConfig& app) {
     comm_energy += red.energy;
     epoch = std::max(red.finish, sim.now());
     sim.run_until(epoch);
+    // All of next iteration's work is released at `epoch`, so the calendar
+    // resources can retire everything before it (keeps reserve() cheap over
+    // long runs).
+    machine.release(epoch);
   }
 
   AppOutcome out;
@@ -147,8 +151,9 @@ AppOutcome run_app(const AppConfig& app) {
 }  // namespace
 }  // namespace ecoscale
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ecoscale;
+  bench::init(argc, argv);
   bench::print_header("EXP-APP-holistic",
                       "cumulative effect of every ECOSCALE mechanism on "
                       "one application (abstract's holistic claim)");
@@ -174,10 +179,13 @@ int main() {
 
   Table t({"configuration", "makespan", "energy", "HW fraction",
            "vs baseline (time)", "vs baseline (energy)"});
-  AppOutcome base;
+  // Each ladder rung owns its own Machine + Simulator, so the rungs run on
+  // the sweep pool; the baseline comparison happens after the barrier.
+  const auto outcomes = bench::parallel_sweep(
+      ladder.size(), [&](std::size_t i) { return run_app(ladder[i]); });
+  const AppOutcome& base = outcomes[0];
   for (std::size_t i = 0; i < ladder.size(); ++i) {
-    const auto out = run_app(ladder[i]);
-    if (i == 0) base = out;
+    const auto& out = outcomes[i];
     t.add_row({ladder[i].name, fmt_fixed(out.makespan_ms, 2) + " ms",
                fmt_fixed(out.energy_mj, 2) + " mJ", fmt_pct(out.hw_frac),
                fmt_ratio(base.makespan_ms / out.makespan_ms),

@@ -1,0 +1,216 @@
+// EXP-SIMCORE — simulation-kernel microbenchmark.
+//
+// Every ECOSCALE experiment is bounded by how many simulated events per
+// wall-clock second the discrete-event core retires, so this harness tracks
+// the kernel's own perf trajectory: schedule/step throughput of the event
+// queue (InlineAction slab + 4-ary heap + sorted-run backlog drain) and
+// reserve() throughput of the two reservation resources, including the
+// oversubscribed long-run pattern that used to send CalendarTimeline
+// quadratic before interval coalescing + watermark pruning.
+//
+// Two schedule/step workloads:
+//  - ring: 64 self-rescheduling actors with 40-byte captures, one event in
+//    flight each — steady-state pop/push with a shallow heap. The 40-byte
+//    capture matters: it exceeds std::function's 16-byte SBO, so the
+//    pre-InlineAction kernel paid one malloc/free per event here.
+//  - backlog: schedule a deep batch (random times), then drain it — the
+//    pattern that triggers the sorted-run conversion.
+//
+// Emits the usual tables plus, always, one machine-readable JSON summary
+// line (`SIMCORE_JSON {...}`) so CI and scripts can scrape the trajectory
+// without parsing tables; `--json <path>` additionally dumps the tables.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <type_traits>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/inline_action.h"
+#include "sim/simulator.h"
+#include "sim/timeline.h"
+
+namespace ecoscale {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ScheduleStepResult {
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t pool_spills = 0;  // heap trips taken by the spill pool
+};
+
+/// 40 bytes of captured state per event (with the actor pointer), matching
+/// the message-descriptor captures the subsystem models schedule.
+struct Payload {
+  std::uint64_t w[4];
+};
+
+/// Self-rescheduling actor ring: steady-state schedule/step with one event
+/// in flight per actor.
+ScheduleStepResult ring_throughput(std::uint64_t total_events) {
+  const auto before = detail::ActionBlockPool::stats();
+  Simulator sim;
+  sim.reserve_events(128);
+  std::uint64_t budget = total_events;
+  struct Actor {
+    Simulator* sim;
+    std::uint64_t* budget;
+    SimDuration period;
+    void fire() {
+      if (*budget == 0) return;
+      --*budget;
+      Actor* self = this;
+      Payload p{};
+      p.w[0] = *budget;
+      sim->schedule_after(period, [self, p] {
+        (void)p;
+        self->fire();
+      });
+    }
+  };
+  std::vector<Actor> actors;
+  actors.reserve(64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    actors.push_back(Actor{&sim, &budget, 10 + i});
+  }
+  for (auto& a : actors) a.fire();
+  sim.run();
+  const auto after = detail::ActionBlockPool::stats();
+  ScheduleStepResult r;
+  r.events = sim.events_processed();
+  r.events_per_sec = sim.events_per_second();
+  r.pool_spills = after.pool_misses - before.pool_misses;
+  return r;
+}
+
+/// Deep-backlog drain: schedule `total_events` at random times, then run.
+ScheduleStepResult backlog_throughput(std::uint64_t total_events) {
+  const auto before = detail::ActionBlockPool::stats();
+  Simulator sim;
+  sim.reserve_events(total_events);
+  Rng rng(42);
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_events; ++i) {
+    Payload p{};
+    p.w[0] = i;
+    sim.schedule_at(rng.uniform_u64(std::uint64_t{1} << 30),
+                    [p, &sink] { sink += p.w[0]; });
+  }
+  sim.run();
+  const double wall = seconds_since(t0);
+  const auto after = detail::ActionBlockPool::stats();
+  ScheduleStepResult r;
+  r.events = sim.events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.pool_spills = after.pool_misses - before.pool_misses;
+  return r;
+}
+
+/// reserve() throughput for a timeline type under a given load pattern.
+template <typename TimelineT>
+double reserve_throughput(std::uint64_t reserves, std::uint64_t base_step,
+                          std::uint64_t jitter, SimDuration max_service,
+                          std::uint64_t release_every, TimelineT& tl) {
+  Rng rng(7);
+  SimTime base = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < reserves; ++i) {
+    base += rng.uniform_u64(base_step);
+    tl.reserve(base + rng.uniform_u64(jitter), 1 + rng.uniform_u64(max_service));
+    if constexpr (std::is_same_v<TimelineT, CalendarTimeline>) {
+      if (release_every != 0 && i % release_every == 0) tl.release(base);
+    }
+  }
+  return static_cast<double>(reserves) / seconds_since(t0);
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main(int argc, char** argv) {
+  using namespace ecoscale;
+  bench::init(argc, argv);
+  bench::print_header("EXP-SIMCORE",
+                      "discrete-event kernel throughput trajectory");
+
+  // --- schedule/step ------------------------------------------------------
+  constexpr std::uint64_t kEvents = 2000000;
+  // Warm up allocator/pool state, then measure.
+  ring_throughput(kEvents / 10);
+  const auto ring = ring_throughput(kEvents);
+  backlog_throughput(kEvents / 10);
+  const auto backlog = backlog_throughput(kEvents);
+
+  Table kernel({"workload", "events", "events/sec", "pool heap spills"});
+  kernel.add_row({"ring (64 actors)", fmt_u64(ring.events),
+                  fmt_sci(ring.events_per_sec, 3), fmt_u64(ring.pool_spills)});
+  kernel.add_row({"backlog drain", fmt_u64(backlog.events),
+                  fmt_sci(backlog.events_per_sec, 3),
+                  fmt_u64(backlog.pool_spills)});
+  bench::print_table(
+      kernel,
+      "schedule/step throughput, 40-byte captures (inline fast path;\n"
+      "zero heap allocations per event in steady state):");
+
+  // --- reserve throughput -------------------------------------------------
+  // In-order pattern: ready times trend forward with modest jitter; the
+  // resource keeps up with offered load (gaps exist).
+  constexpr std::uint64_t kReserves = 2000000;
+  Table res({"resource", "pattern", "reserves/sec", "live intervals",
+             "peak live"});
+  {
+    Timeline fifo("fifo");
+    const double rps = reserve_throughput(kReserves, 40, 200, 20, 0, fifo);
+    res.add_row({"Timeline", "in-order", fmt_sci(rps, 3), "1", "1"});
+  }
+  {
+    CalendarTimeline cal("cal");
+    const double rps = reserve_throughput(kReserves, 40, 200, 20, 0, cal);
+    res.add_row({"CalendarTimeline", "in-order", fmt_sci(rps, 3),
+                 fmt_u64(cal.live_intervals()),
+                 fmt_u64(cal.peak_live_intervals())});
+  }
+  // Oversubscribed long-run pattern: offered load exceeds capacity, so
+  // reservations pile up at the frontier. Pre-coalescing this accumulated
+  // one interval per reservation and each reserve() walked the whole tail.
+  {
+    CalendarTimeline cal("cal");
+    const double rps = reserve_throughput(kReserves, 20, 500, 30, 0, cal);
+    res.add_row({"CalendarTimeline", "oversubscribed", fmt_sci(rps, 3),
+                 fmt_u64(cal.live_intervals()),
+                 fmt_u64(cal.peak_live_intervals())});
+  }
+  // Same pattern with a periodic release watermark (the epoch-boundary
+  // call sites in Machine/PgasSystem).
+  CalendarTimeline cal_rel("cal");
+  const double rel_rps =
+      reserve_throughput(kReserves, 20, 500, 30, 4096, cal_rel);
+  res.add_row({"CalendarTimeline", "oversubscribed+release",
+               fmt_sci(rel_rps, 3), fmt_u64(cal_rel.live_intervals()),
+               fmt_u64(cal_rel.peak_live_intervals())});
+  bench::print_table(
+      res,
+      "reserve() throughput, 2M reservations per pattern. Coalescing keeps\n"
+      "the calendar's live-interval set bounded; release() additionally\n"
+      "prunes the retired past:");
+
+  // --- machine-readable summary ------------------------------------------
+  std::cout << "SIMCORE_JSON {"
+            << "\"ring_events_per_sec\": " << ring.events_per_sec
+            << ", \"backlog_events_per_sec\": " << backlog.events_per_sec
+            << ", \"events\": " << ring.events
+            << ", \"pool_heap_spills\": "
+            << ring.pool_spills + backlog.pool_spills
+            << ", \"calendar_oversubscribed_release_reserves_per_sec\": "
+            << rel_rps
+            << ", \"calendar_peak_live_intervals\": "
+            << cal_rel.peak_live_intervals() << "}\n";
+  return 0;
+}

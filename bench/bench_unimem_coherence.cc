@@ -185,23 +185,32 @@ TimedResult timed_run(std::size_t workers, CoherenceScope scope,
 }  // namespace
 }  // namespace ecoscale
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ecoscale;
+  bench::init(argc, argv);
   bench::print_header("EXP-C2-coherence",
                       "UNIMEM eliminates global coherence traffic (claim C2)");
 
+  // Each sweep point builds its own pattern and systems, so the points are
+  // independent and the parallel run matches the sequential one byte for
+  // byte (rows come back in submission order).
+  const std::vector<std::size_t> sizes{4, 8, 16, 32, 64, 128};
   Table t({"caches", "snoop bcast msgs/access", "directory msgs/access",
            "UNIMEM msgs/access", "UNIMEM remote frac"});
-  for (const std::size_t workers : {4u, 8u, 16u, 32u, 64u, 128u}) {
-    const auto pattern = make_pattern(workers, 0xC0FFEE);
-    const double bcast = global_msgs_per_access(
-        workers, CoherenceMode::kSnoopBroadcast, pattern);
-    const double dir =
-        global_msgs_per_access(workers, CoherenceMode::kDirectory, pattern);
-    const auto unimem = unimem_run(workers, pattern);
-    t.add_row({fmt_u64(workers), fmt_fixed(bcast, 2), fmt_fixed(dir, 3),
-               fmt_fixed(unimem.coherence_msgs_per_access, 3),
-               fmt_pct(unimem.remote_fraction)});
+  for (auto& row : bench::parallel_sweep(sizes.size(), [&](std::size_t i) {
+         const std::size_t workers = sizes[i];
+         const auto pattern = make_pattern(workers, 0xC0FFEE);
+         const double bcast = global_msgs_per_access(
+             workers, CoherenceMode::kSnoopBroadcast, pattern);
+         const double dir = global_msgs_per_access(
+             workers, CoherenceMode::kDirectory, pattern);
+         const auto unimem = unimem_run(workers, pattern);
+         return std::vector<std::string>{
+             fmt_u64(workers), fmt_fixed(bcast, 2), fmt_fixed(dir, 3),
+             fmt_fixed(unimem.coherence_msgs_per_access, 3),
+             fmt_pct(unimem.remote_fraction)};
+       })) {
+    t.add_row(std::move(row));
   }
   bench::print_table(
       t,
@@ -209,19 +218,25 @@ int main() {
       "Broadcast grows linearly with machine size; UNIMEM stays bounded by\n"
       "the node-local domain (4 caches) at any scale:");
 
+  const std::vector<std::size_t> timed_sizes{4, 16, 64};
   Table timed({"caches", "global-snoop time", "UNIMEM time", "speedup",
                "global energy", "UNIMEM energy"});
-  for (const std::size_t workers : {4u, 16u, 64u}) {
-    const auto pattern = make_pattern(workers, 0xC0FFEE);
-    const auto global = timed_run(workers, CoherenceScope::kGlobal, pattern);
-    const auto unimem = timed_run(workers, CoherenceScope::kUnimem, pattern);
-    timed.add_row({fmt_u64(workers),
-                   fmt_time_ps(static_cast<double>(global.finish)),
-                   fmt_time_ps(static_cast<double>(unimem.finish)),
-                   fmt_ratio(static_cast<double>(global.finish) /
-                             static_cast<double>(unimem.finish)),
-                   fmt_energy_pj(global.energy),
-                   fmt_energy_pj(unimem.energy)});
+  for (auto& row :
+       bench::parallel_sweep(timed_sizes.size(), [&](std::size_t i) {
+         const std::size_t workers = timed_sizes[i];
+         const auto pattern = make_pattern(workers, 0xC0FFEE);
+         const auto global =
+             timed_run(workers, CoherenceScope::kGlobal, pattern);
+         const auto unimem =
+             timed_run(workers, CoherenceScope::kUnimem, pattern);
+         return std::vector<std::string>{
+             fmt_u64(workers), fmt_time_ps(static_cast<double>(global.finish)),
+             fmt_time_ps(static_cast<double>(unimem.finish)),
+             fmt_ratio(static_cast<double>(global.finish) /
+                       static_cast<double>(unimem.finish)),
+             fmt_energy_pj(global.energy), fmt_energy_pj(unimem.energy)};
+       })) {
+    timed.add_row(std::move(row));
   }
   bench::print_table(
       timed,

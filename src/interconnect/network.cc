@@ -147,6 +147,19 @@ SimTime Network::max_link_busy() const {
   return best;
 }
 
+void Network::release(SimTime watermark) {
+  bus_timeline_.release(watermark);
+  for (auto& tl : link_timelines_) tl.release(watermark);
+}
+
+std::size_t Network::peak_live_intervals() const {
+  std::size_t best = bus_timeline_.peak_live_intervals();
+  for (const auto& tl : link_timelines_) {
+    best = std::max(best, tl.peak_live_intervals());
+  }
+  return best;
+}
+
 double Network::max_link_utilization(SimTime horizon) const {
   if (horizon == 0) return 0.0;
   if (config_.shared_medium) return bus_timeline_.utilization(horizon);

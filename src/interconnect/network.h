@@ -76,6 +76,12 @@ class Network {
   SimTime max_link_busy() const;
   double max_link_utilization(SimTime horizon) const;
 
+  /// Promise that no future send() departs before `watermark`: prunes every
+  /// link calendar's retired intervals (see CalendarTimeline::release).
+  void release(SimTime watermark);
+  /// Peak live-interval count over all link calendars (prune health).
+  std::size_t peak_live_intervals() const;
+
   const Topology& topology() const { return topo_; }
 
  private:

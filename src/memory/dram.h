@@ -45,6 +45,10 @@ class DramChannel {
     return r;
   }
 
+  /// Promise that no future access() is issued before `watermark`; prunes
+  /// the channel calendar's retired intervals.
+  void release(SimTime watermark) { timeline_.release(watermark); }
+
   Bytes bytes_transferred() const { return bytes_; }
   const EnergyMeter& energy() const { return energy_; }
   const CalendarTimeline& timeline() const { return timeline_; }

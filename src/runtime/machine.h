@@ -61,6 +61,14 @@ class Machine {
   MpiWorld& mpi() { return *mpi_; }
   const MachineConfig& config() const { return config_; }
 
+  /// Promise that no future timed operation is issued before `watermark`;
+  /// prunes retired calendar intervals machine-wide (PGAS links + DRAM,
+  /// MPI network). Call at epoch boundaries of long-running workloads.
+  void release(SimTime watermark) {
+    pgas_->release(watermark);
+    mpi_->network().release(watermark);
+  }
+
   /// Total energy across every component (workers, PGAS, MPI, pools).
   Picojoules total_energy() const {
     Picojoules total = pgas_->energy().total() + mpi_->energy().total();

@@ -70,18 +70,29 @@ class Timeline {
 /// reservation and serialise everything behind it; the calendar keeps the
 /// set of busy intervals and places each reservation in the first gap at
 /// or after its ready time.
+///
+/// Two mechanisms keep the interval set small over long runs (it used to
+/// grow by one entry per reservation, turning reserve() into a scalability
+/// cliff for bench_holistic-sized workloads):
+///  - adjacent intervals are coalesced on insert, so back-to-back
+///    reservations collapse into one interval instead of accumulating;
+///  - release(watermark) prunes every interval that ends at or before the
+///    watermark once the caller can promise that no future reservation will
+///    be ready before it. Post-watermark reservations see exactly the same
+///    start times as they would without pruning.
 class CalendarTimeline {
  public:
   CalendarTimeline() = default;
   explicit CalendarTimeline(std::string name) : name_(std::move(name)) {}
 
   /// Reserve `service` time in the first gap starting at or after `ready`.
-  /// Returns the start of service.
+  /// Returns the start of service. `ready` values before the release
+  /// watermark are clamped up to it (the pruned past is treated as busy).
   SimTime reserve(SimTime ready, SimDuration service) {
     ++reservations_;
     busy_ += service;
     if (service == 0) return ready;
-    SimTime candidate = ready;
+    SimTime candidate = ready > watermark_ ? ready : watermark_;
     // Start from the last interval that begins at or before `candidate`
     // (it may still overlap), then walk forward.
     auto it = intervals_.upper_bound(candidate);
@@ -93,8 +104,9 @@ class CalendarTimeline {
       candidate = std::max(candidate, it->second);
       ++it;
     }
-    intervals_.emplace(candidate, candidate + service);
+    insert_coalesced(it, candidate, candidate + service);
     horizon_ = std::max(horizon_, candidate + service);
+    if (intervals_.size() > peak_live_) peak_live_ = intervals_.size();
     return candidate;
   }
 
@@ -102,10 +114,40 @@ class CalendarTimeline {
     return reserve(ready, service) + service;
   }
 
+  /// Promise that no future reserve() will be ready before `watermark`, and
+  /// drop every interval that is entirely in the retired past. An interval
+  /// straddling the watermark is truncated to start at it. Monotonic: a
+  /// watermark earlier than a previous one is a no-op.
+  void release(SimTime watermark) {
+    if (watermark <= watermark_) return;
+    watermark_ = watermark;
+    auto it = intervals_.begin();
+    while (it != intervals_.end() && it->first < watermark) {
+      if (it->second > watermark) {
+        // Straddles: keep the live tail [watermark, end).
+        const SimTime end = it->second;
+        it = intervals_.erase(it);
+        intervals_.emplace_hint(it, watermark, end);
+        break;
+      }
+      it = intervals_.erase(it);
+      ++pruned_;
+    }
+  }
+
   SimDuration busy_time() const { return busy_; }
   std::uint64_t reservations() const { return reservations_; }
   SimTime horizon() const { return horizon_; }
   const std::string& name() const { return name_; }
+
+  // --- interval accounting (prune/coalesce effectiveness) ---------------
+  /// Busy intervals currently tracked.
+  std::size_t live_intervals() const { return intervals_.size(); }
+  /// High-water mark of live_intervals() over the run.
+  std::size_t peak_live_intervals() const { return peak_live_; }
+  /// Intervals dropped by release().
+  std::uint64_t pruned_intervals() const { return pruned_; }
+  SimTime watermark() const { return watermark_; }
 
   double utilization(SimTime horizon) const {
     if (horizon == 0) return 0.0;
@@ -118,14 +160,50 @@ class CalendarTimeline {
     busy_ = 0;
     reservations_ = 0;
     horizon_ = 0;
+    watermark_ = 0;
+    peak_live_ = 0;
+    pruned_ = 0;
   }
 
  private:
+  using IntervalMap = std::map<SimTime, SimTime>;
+
+  /// Insert [start, end), merging with an abutting predecessor and/or
+  /// successor. `next` is the first interval with key >= end (the position
+  /// reserve()'s forward walk stopped at).
+  void insert_coalesced(IntervalMap::iterator next, SimTime start,
+                        SimTime end) {
+    if (next != intervals_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->second == start) {
+        // Extend the predecessor in place; maybe bridge to the successor.
+        if (next != intervals_.end() && next->first == end) {
+          prev->second = next->second;
+          intervals_.erase(next);
+        } else {
+          prev->second = end;
+        }
+        return;
+      }
+    }
+    if (next != intervals_.end() && next->first == end) {
+      // Extend the successor leftwards (its key changes, so reinsert).
+      const SimTime next_end = next->second;
+      auto hint = intervals_.erase(next);
+      intervals_.emplace_hint(hint, start, next_end);
+      return;
+    }
+    intervals_.emplace_hint(next, start, end);
+  }
+
   std::string name_;
-  std::map<SimTime, SimTime> intervals_;  // start -> end, non-overlapping
+  IntervalMap intervals_;  // start -> end, non-overlapping
   SimDuration busy_ = 0;
   std::uint64_t reservations_ = 0;
   SimTime horizon_ = 0;
+  SimTime watermark_ = 0;
+  std::size_t peak_live_ = 0;
+  std::uint64_t pruned_ = 0;
 };
 
 }  // namespace ecoscale

@@ -172,6 +172,15 @@ class PgasSystem {
   DramChannel& dram(WorkerCoord w) { return *drams_[flat(w)]; }
   Cache& cache(WorkerCoord w) { return *caches_[flat(w)]; }
 
+  /// Promise that no future timed access is issued before `watermark`;
+  /// prunes the retired past from every calendar resource (network links,
+  /// DRAM channels). Call at epoch boundaries in long-running workloads to
+  /// keep reserve() O(log live-intervals).
+  void release(SimTime watermark) {
+    network_->release(watermark);
+    for (auto& d : drams_) d->release(watermark);
+  }
+
   std::uint64_t remote_accesses() const { return remote_accesses_; }
   std::uint64_t local_accesses() const { return local_accesses_; }
   const EnergyMeter& energy() const { return energy_; }

@@ -106,6 +106,68 @@ TEST_P(CalendarFuzz, NoTwoReservationsOverlap) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CalendarFuzz,
                          ::testing::Values(11, 22, 33, 44));
 
+// --- CalendarTimeline pruning/coalescing vs a brute-force interval model ----------
+
+/// Reference first-fit placement over an explicit, never-pruned,
+/// never-coalesced interval list — the behaviour CalendarTimeline had
+/// before the watermark/coalescing rework.
+class BruteForceCalendar {
+ public:
+  SimTime place(SimTime ready, SimDuration service) {
+    SimTime candidate = ready;
+    std::size_t pos = 0;
+    for (; pos < intervals_.size(); ++pos) {
+      const auto& [start, end] = intervals_[pos];
+      if (end <= candidate) continue;
+      if (candidate + service <= start) break;  // fits in the gap before
+      candidate = end;
+    }
+    intervals_.emplace_back(candidate, candidate + service);
+    std::sort(intervals_.begin(), intervals_.end());
+    return candidate;
+  }
+
+ private:
+  std::vector<std::pair<SimTime, SimTime>> intervals_;
+};
+
+class CalendarPruneFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// release(watermark) and interval coalescing are pure space optimizations:
+// as long as every later reservation has ready >= watermark (which the
+// epoch-boundary call sites guarantee — the watermark is a completed
+// epoch), start times must match the unpruned brute-force model exactly.
+TEST_P(CalendarPruneFuzz, PrunedPlacementMatchesBruteForceModel) {
+  Rng rng(GetParam());
+  CalendarTimeline tl;
+  BruteForceCalendar reference;
+  constexpr int kReservations = 1500;
+  SimTime watermark = 0;
+  for (int i = 0; i < kReservations; ++i) {
+    const SimTime ready = watermark + rng.uniform_u64(2000);
+    const SimDuration service = 1 + rng.uniform_u64(100);
+    const SimTime expected = reference.place(ready, service);
+    ASSERT_EQ(tl.reserve(ready, service), expected)
+        << "reservation " << i << " ready=" << ready
+        << " service=" << service << " watermark=" << watermark;
+    if (i % 50 == 49) {
+      watermark += rng.uniform_u64(400);
+      tl.release(watermark);
+    }
+  }
+  // Acceptance: the live-interval set must not grow linearly with the
+  // reservation count once the watermark advances — pruning drops the
+  // retired past and coalescing fuses the packed frontier.
+  EXPECT_LT(tl.peak_live_intervals(), kReservations / 4);
+  EXPECT_GT(tl.pruned_intervals(), 0u);
+  // Releasing past the horizon empties the calendar entirely.
+  tl.release(watermark + 1000000);
+  EXPECT_EQ(tl.live_intervals(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalendarPruneFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
 // --- scheduler conservation across the policy grid --------------------------------
 
 using PolicyPoint = std::tuple<PlacementPolicy, DistributionPolicy, bool>;
