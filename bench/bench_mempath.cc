@@ -1,0 +1,221 @@
+// EXP-MEMPATH — memory/interconnect access fast-path throughput.
+//
+// The scalability experiments (EXP-C2, EXP-APP-holistic) sweep machine
+// sizes, so how many simulated PGAS accesses and network packets the model
+// retires per wall-clock second directly bounds how far toward "exascale"
+// configurations the sweeps can go. This bench times the steady-state
+// per-access stack in isolation:
+//
+//   * local  — node-local load/store through the coherence domain
+//   * remote — cross-node load/store: translate, route, DRAM, respond
+//   * atomic — remote fetch-add round trips (§4.1 synchronisation traffic)
+//   * send   — raw Network::send on a two-level tree
+//
+// Loops follow the epoch discipline from DESIGN.md §7.1: `now` advances at
+// a fixed issue rate and release(now) is called at epoch boundaries so
+// calendar resources stay pruned. Emits a one-line machine-readable
+// summary (`MEMPATH_JSON {...}`); `--json <path>` additionally dumps the
+// tables.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "interconnect/network.h"
+#include "interconnect/topology.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+namespace {
+
+constexpr std::uint64_t kEpoch = 4096;        // accesses between release()
+constexpr SimDuration kIssueStride = nanoseconds(100);
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct LoopResult {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0.0; }
+  double ns_per_op() const { return ops ? seconds * 1e9 / ops : 0.0; }
+};
+
+/// Local loads/stores: every worker walks its own node-homed buffer.
+LoopResult local_loop(std::uint64_t ops) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  std::vector<GlobalAddress> bufs;
+  for (std::size_t w = 0; w < pgas.worker_count(); ++w) {
+    const auto c = pgas.coord(w);
+    bufs.push_back(pgas.alloc(c.node, c.worker, 64 * kKiB));
+  }
+  Rng rng(0x5EED);
+  SimTime now = 0;
+  std::uint64_t done = 0;
+  volatile double sink = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < ops) {
+    for (std::uint64_t i = 0; i < kEpoch && done < ops; ++i, ++done) {
+      const std::size_t w = done % pgas.worker_count();
+      const auto addr = bufs[w] + rng.uniform_u64(64 * kKiB - 8);
+      const auto r = (done & 3) == 0 ? pgas.store(pgas.coord(w), addr, 8, now)
+                                     : pgas.load(pgas.coord(w), addr, 8, now);
+      sink = sink + static_cast<double>(r.finish);
+      now += kIssueStride;
+    }
+    pgas.release(now);
+  }
+  LoopResult r;
+  r.ops = done;
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+/// Remote loads/stores: workers of node 0 access node-1-owned pages.
+LoopResult remote_loop(std::uint64_t ops) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  std::vector<GlobalAddress> bufs;
+  for (std::size_t w = 0; w < cfg.workers_per_node; ++w) {
+    bufs.push_back(pgas.alloc(1, static_cast<WorkerId>(w), 64 * kKiB));
+  }
+  Rng rng(0xFA57);
+  SimTime now = 0;
+  std::uint64_t done = 0;
+  volatile double sink = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < ops) {
+    for (std::uint64_t i = 0; i < kEpoch && done < ops; ++i, ++done) {
+      const WorkerCoord who{0, static_cast<WorkerId>(done & 3)};
+      const auto addr = bufs[done & 3] + rng.uniform_u64(64 * kKiB - 8);
+      const auto r = (done & 3) == 0 ? pgas.store(who, addr, 8, now)
+                                     : pgas.load(who, addr, 8, now);
+      sink = sink + static_cast<double>(r.finish);
+      now += kIssueStride;
+    }
+    pgas.release(now);
+  }
+  LoopResult r;
+  r.ops = done;
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+/// Remote atomics: fetch-add on one node-1-owned counter word per worker.
+LoopResult atomic_loop(std::uint64_t ops) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 4;
+  PgasSystem pgas(cfg);
+  const auto ctr = pgas.alloc(1, 0, 4 * kKiB);
+  SimTime now = 0;
+  std::uint64_t done = 0;
+  volatile double sink = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < ops) {
+    for (std::uint64_t i = 0; i < kEpoch && done < ops; ++i, ++done) {
+      const WorkerCoord who{0, static_cast<WorkerId>(done & 3)};
+      const auto r = pgas.atomic_rmw(who, ctr + 8 * (done & 63),
+                                     AtomicOp::kFetchAdd, 1, now);
+      sink = sink + static_cast<double>(r.finish);
+      now += kIssueStride;
+    }
+    pgas.release(now);
+  }
+  LoopResult r;
+  r.ops = done;
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+/// Raw Network::send over a 64-endpoint two-level tree, mixed pairs.
+LoopResult send_loop(std::uint64_t ops) {
+  NetworkConfig cfg;
+  cfg.level_params = {{0, LinkParams{}}, {1, LinkParams{}}};
+  Network net(make_tree({8, 8}), cfg);
+  Rng rng(0xD1CE);
+  // Fixed pool of src/dst pairs so routes are warm after the first epoch.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (int i = 0; i < 256; ++i) {
+    const auto s = static_cast<std::size_t>(rng.uniform_u64(64));
+    auto d = static_cast<std::size_t>(rng.uniform_u64(64));
+    if (d == s) d = (d + 1) % 64;
+    pairs.emplace_back(s, d);
+  }
+  Packet p{PacketType::kWrite, {}, {}, 64};
+  SimTime now = 0;
+  std::uint64_t done = 0;
+  volatile double sink = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < ops) {
+    for (std::uint64_t i = 0; i < kEpoch && done < ops; ++i, ++done) {
+      const auto& [s, d] = pairs[done & 255];
+      const auto r = net.send(s, d, p, now);
+      sink = sink + static_cast<double>(r.arrival);
+      now += kIssueStride;
+    }
+    net.release(now);
+  }
+  LoopResult r;
+  r.ops = done;
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+}  // namespace
+}  // namespace ecoscale
+
+int main(int argc, char** argv) {
+  using namespace ecoscale;
+  bench::init(argc, argv);
+  std::uint64_t scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--scale" && i + 1 < argc) {
+      scale = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  bench::print_header("EXP-MEMPATH",
+                      "steady-state memory/interconnect access throughput");
+
+  // Warm-up pass (route caches, allocator pools, page registration), then
+  // the timed pass.
+  (void)local_loop(50'000);
+  (void)remote_loop(50'000);
+  const auto local = local_loop(1'000'000 * scale);
+  const auto remote = remote_loop(1'000'000 * scale);
+  const auto atomics = atomic_loop(500'000 * scale);
+  const auto sends = send_loop(2'000'000 * scale);
+
+  Table t({"path", "ops", "ns/op", "ops/sec"});
+  t.add_row({"pgas local load/store", fmt_u64(local.ops),
+             fmt_fixed(local.ns_per_op(), 1), fmt_sci(local.ops_per_sec(), 3)});
+  t.add_row({"pgas remote load/store", fmt_u64(remote.ops),
+             fmt_fixed(remote.ns_per_op(), 1),
+             fmt_sci(remote.ops_per_sec(), 3)});
+  t.add_row({"pgas remote fetch-add", fmt_u64(atomics.ops),
+             fmt_fixed(atomics.ns_per_op(), 1),
+             fmt_sci(atomics.ops_per_sec(), 3)});
+  t.add_row({"network send (64-ep tree)", fmt_u64(sends.ops),
+             fmt_fixed(sends.ns_per_op(), 1),
+             fmt_sci(sends.ops_per_sec(), 3)});
+  bench::print_table(
+      t,
+      "Simulated accesses retired per wall-clock second; higher is better.\n"
+      "The remote path is the one that bounds machine-size sweeps:");
+
+  std::cout << "MEMPATH_JSON {"
+            << "\"local_ops_per_sec\": " << local.ops_per_sec()
+            << ", \"remote_ops_per_sec\": " << remote.ops_per_sec()
+            << ", \"atomic_ops_per_sec\": " << atomics.ops_per_sec()
+            << ", \"send_ops_per_sec\": " << sends.ops_per_sec() << "}\n";
+  return 0;
+}

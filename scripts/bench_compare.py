@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two bench --json dumps and print a %-change table.
+
+Usage:
+    scripts/bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
+
+Accepts either format the bench harness emits:
+  * a --json dump: {"tables": [{"caption", "headers", "rows"}, ...]}
+  * a captured stdout log containing one-line summaries such as
+    MEMPATH_JSON {"remote_ops_per_sec": 1.2e6, ...}
+
+Tables are matched by caption (falling back to position), rows by their
+first column. Every numeric cell is compared; non-numeric cells are
+ignored. Exits 1 if --threshold is given and any metric regressed by more
+than PCT percent (a regression is a drop for */sec columns and a rise for
+everything else, since the remaining units are times/counts).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def parse_file(path):
+    """Return {table_key: {row_key: {col_name: float}}}."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    out = {}
+    if isinstance(doc, dict) and "tables" in doc:
+        for i, table in enumerate(doc["tables"]):
+            caption = (table.get("caption") or f"table {i}").splitlines()[0]
+            headers = table.get("headers") or []
+            rows = {}
+            for row in table.get("rows", []):
+                cells = {}
+                for name, cell in zip(headers[1:], row[1:]):
+                    value = to_float(cell)
+                    if value is not None:
+                        cells[name] = value
+                rows[str(row[0])] = cells
+            out[caption] = rows
+        return out
+    # Fall back to scanning for NAME_JSON {...} summary lines.
+    for match in re.finditer(r"^(\w+_JSON)\s+(\{.*\})\s*$", text, re.M):
+        try:
+            flat = json.loads(match.group(2))
+        except json.JSONDecodeError:
+            continue
+        rows = {}
+        for key, value in flat.items():
+            v = to_float(value)
+            if v is not None:
+                rows[key] = {"value": v}
+        out[match.group(1)] = rows
+    if not out:
+        sys.exit(f"error: {path}: neither a bench --json dump nor a log "
+                 "with *_JSON summary lines")
+    return out
+
+
+def to_float(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def higher_is_better(column):
+    return "/sec" in column or "per_sec" in column
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="fail if any metric regresses by more than PCT%%")
+    args = ap.parse_args()
+
+    before = parse_file(args.before)
+    after = parse_file(args.after)
+
+    # Positional fallback lets renamed captions still line up.
+    keys = [k for k in before if k in after]
+    if not keys and len(before) == len(after):
+        keys = list(before)
+        after = dict(zip(before, after.values()))
+
+    worst = 0.0
+    rows = []
+    for key in keys:
+        for row_name, cells in before[key].items():
+            other = after[key].get(row_name)
+            if other is None:
+                continue
+            for col, old in cells.items():
+                new = other.get(col)
+                if new is None or old == 0:
+                    continue
+                change = 100.0 * (new - old) / old
+                regression = -change if higher_is_better(col) else change
+                worst = max(worst, regression)
+                rows.append((key, row_name, col, old, new, change))
+
+    if not rows:
+        sys.exit("error: no comparable metrics between the two files")
+
+    name_w = max(len(f"{r[1]} [{r[2]}]") for r in rows)
+    print(f"{'metric':<{name_w}}  {'before':>12}  {'after':>12}  {'change':>8}")
+    last_key = None
+    for key, row_name, col, old, new, change in rows:
+        if key != last_key:
+            print(f"-- {key}")
+            last_key = key
+        label = f"{row_name} [{col}]"
+        print(f"{label:<{name_w}}  {old:>12.6g}  {new:>12.6g}  {change:>+7.1f}%")
+
+    if args.threshold is not None and worst > args.threshold:
+        print(f"\nFAIL: worst regression {worst:.1f}% exceeds "
+              f"threshold {args.threshold:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

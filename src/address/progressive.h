@@ -33,6 +33,12 @@ class ProgressiveTranslator {
   explicit ProgressiveTranslator(std::vector<SimDuration> level_latencies)
       : level_latencies_(std::move(level_latencies)) {
     ECO_CHECK(!level_latencies_.empty());
+    prefix_.resize(level_latencies_.size());
+    SimDuration sum = 0;
+    for (std::size_t i = 0; i < level_latencies_.size(); ++i) {
+      sum += level_latencies_[i];
+      prefix_[i] = sum;
+    }
   }
 
   /// Translate an access from `src` to `dst`: the access climbs levels until
@@ -40,14 +46,7 @@ class ProgressiveTranslator {
   /// descends. Only the traversed levels pay a lookup.
   ProgressiveResult translate(WorkerCoord src, WorkerCoord dst) const {
     ProgressiveResult r;
-    int highest;
-    if (src == dst) {
-      highest = 0;                       // local: stage-0 table only
-    } else if (src.node == dst.node) {
-      highest = 1;                       // intra-node: worker-level table
-    } else {
-      highest = static_cast<int>(level_latencies_.size()) - 1;  // global
-    }
+    const int highest = highest_level(src, dst);
     for (int level = 0; level <= highest; ++level) {
       const SimDuration lat =
           level_latencies_[static_cast<std::size_t>(level)];
@@ -57,10 +56,25 @@ class ProgressiveTranslator {
     return r;
   }
 
+  /// Allocation-free fast path: the summed lookup latency without the
+  /// per-step breakdown. Used on the per-access PGAS lane; the prefix sums
+  /// are precomputed so this is one compare chain and one array read.
+  SimDuration total_latency(WorkerCoord src, WorkerCoord dst) const {
+    return prefix_[static_cast<std::size_t>(highest_level(src, dst))];
+  }
+
   std::size_t levels() const { return level_latencies_.size(); }
 
  private:
+  int highest_level(WorkerCoord src, WorkerCoord dst) const {
+    const int top = static_cast<int>(level_latencies_.size()) - 1;
+    if (src == dst) return 0;                      // local: stage-0 only
+    if (src.node == dst.node) return top < 1 ? top : 1;  // intra-node
+    return top;                                    // global
+  }
+
   std::vector<SimDuration> level_latencies_;
+  std::vector<SimDuration> prefix_;  // prefix_[h] = sum of levels 0..h
 };
 
 }  // namespace ecoscale

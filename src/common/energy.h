@@ -4,45 +4,84 @@
 // named categories (e.g. "dram.read", "link.hop", "fabric.config"); the
 // experiment harnesses aggregate meters into the energy columns reported in
 // EXPERIMENTS.md.
+//
+// Categories are interned CounterIds (common/intern.h): the hot lane is
+// charge(CounterId, pj) against a dense array, resolved once at component
+// construction; charge(name, pj) stays available for cold paths and interns
+// on the fly. The string-keyed breakdown is materialized only on read.
 #pragma once
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/intern.h"
 #include "common/units.h"
 
 namespace ecoscale {
 
 class EnergyMeter {
  public:
-  void charge(const std::string& category, Picojoules pj) {
-    by_category_[category] += pj;
+  /// Fast lane: charge a pre-interned category. Allocation-free once the
+  /// dense array covers `id` (i.e. after the first charge of that id).
+  void charge(CounterId id, Picojoules pj) {
+    if (id >= values_.size()) grow(id);
+    values_[id] += pj;
+    touched_[id] = 1;
     total_ += pj;
+  }
+
+  /// Slow lane for cold call sites: interns `category` per call.
+  void charge(std::string_view category, Picojoules pj) {
+    charge(CounterRegistry::intern(category), pj);
   }
 
   Picojoules total() const { return total_; }
 
-  Picojoules category(const std::string& name) const {
-    auto it = by_category_.find(name);
-    return it == by_category_.end() ? 0.0 : it->second;
+  Picojoules category(std::string_view name) const {
+    const CounterId id = CounterRegistry::intern(name);
+    return id < values_.size() ? values_[id] : 0.0;
   }
 
-  const std::map<std::string, Picojoules>& breakdown() const {
-    return by_category_;
+  /// String-keyed view, materialized on demand (read path only).
+  std::map<std::string, Picojoules> breakdown() const {
+    std::map<std::string, Picojoules> out;
+    for (CounterId id = 0; id < values_.size(); ++id) {
+      if (touched_[id]) out.emplace(CounterRegistry::name(id), values_[id]);
+    }
+    return out;
   }
 
   void merge(const EnergyMeter& other) {
-    for (const auto& [k, v] : other.by_category_) by_category_[k] += v;
+    if (other.values_.size() > values_.size()) {
+      grow(static_cast<CounterId>(other.values_.size()) - 1);
+    }
+    for (CounterId id = 0; id < other.values_.size(); ++id) {
+      if (other.touched_[id]) {
+        values_[id] += other.values_[id];
+        touched_[id] = 1;
+      }
+    }
     total_ += other.total_;
   }
 
   void clear() {
-    by_category_.clear();
+    values_.assign(values_.size(), 0.0);
+    touched_.assign(touched_.size(), 0);
     total_ = 0.0;
   }
 
  private:
-  std::map<std::string, Picojoules> by_category_;
+  void grow(CounterId id) {
+    values_.resize(id + 1, 0.0);
+    touched_.resize(id + 1, 0);
+  }
+
+  // Dense by CounterId; `touched_` distinguishes "charged 0 pJ" from
+  // "never charged" so breakdown() matches the old string-keyed map.
+  std::vector<Picojoules> values_;
+  std::vector<unsigned char> touched_;
   Picojoules total_ = 0.0;
 };
 

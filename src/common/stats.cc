@@ -134,6 +134,23 @@ double QuantileEstimator::value() const {
   return heights_[2];
 }
 
+void CounterSet::add(CounterId id, std::uint64_t delta) {
+  if (id >= counters_.size()) {
+    counters_.resize(id + 1, 0);
+    touched_.resize(id + 1, 0);
+  }
+  counters_[id] += delta;
+  touched_[id] = 1;
+}
+
+std::map<std::string, std::uint64_t> CounterSet::all() const {
+  std::map<std::string, std::uint64_t> out;
+  for (CounterId id = 0; id < counters_.size(); ++id) {
+    if (touched_[id]) out.emplace(CounterRegistry::name(id), counters_[id]);
+  }
+  return out;
+}
+
 double Samples::mean() const {
   if (values_.empty()) return 0.0;
   double s = 0.0;

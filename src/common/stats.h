@@ -6,7 +6,10 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/intern.h"
 
 namespace ecoscale {
 
@@ -78,20 +81,36 @@ class QuantileEstimator {
 };
 
 /// Named monotonically increasing counters (traffic bytes, messages, hits…).
+/// Same fast-lane discipline as EnergyMeter: interned CounterIds index a
+/// dense array; the string-keyed view is materialized only on read.
 class CounterSet {
  public:
-  void add(const std::string& name, std::uint64_t delta = 1) {
-    counters_[name] += delta;
+  /// Fast lane: pre-interned id, dense array bump.
+  void add(CounterId id, std::uint64_t delta = 1);
+
+  /// Slow lane: interns `name` per call.
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    add(CounterRegistry::intern(name), delta);
   }
-  std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+
+  std::uint64_t get(CounterId id) const {
+    return id < counters_.size() ? counters_[id] : 0;
   }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
-  void clear() { counters_.clear(); }
+  std::uint64_t get(std::string_view name) const {
+    return get(CounterRegistry::intern(name));
+  }
+
+  /// String-keyed view, materialized on demand (read path only).
+  std::map<std::string, std::uint64_t> all() const;
+
+  void clear() {
+    counters_.assign(counters_.size(), 0);
+    touched_.assign(touched_.size(), 0);
+  }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::vector<std::uint64_t> counters_;  // dense by CounterId
+  std::vector<unsigned char> touched_;
 };
 
 }  // namespace ecoscale

@@ -1,8 +1,8 @@
 #include "interconnect/network.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 
@@ -19,26 +19,47 @@ Network::Network(Topology topology, NetworkConfig config)
   ECO_CHECK_MSG(config_.level_params.contains(0),
                 "NetworkConfig must define level-0 link parameters");
   link_timelines_.resize(topo_.link_count());
-}
 
-const LinkParams& Network::params_for_level(int level) const {
-  auto it = config_.level_params.find(level);
-  if (it == config_.level_params.end()) it = config_.level_params.find(0);
-  return it->second;
+  // Dense per-level parameter and traffic tables: links carry small level
+  // tags, so an indexed array replaces the per-hop map find.
+  int max_level = 0;
+  for (LinkId l = 0; l < topo_.link_count(); ++l) {
+    max_level = std::max(max_level, topo_.link(l).level);
+  }
+  for (const auto& [level, params] : config_.level_params) {
+    if (level > max_level) max_level = level;
+  }
+  level_params_.assign(static_cast<std::size_t>(max_level) + 1,
+                       config_.level_params.at(0));
+  for (const auto& [level, params] : config_.level_params) {
+    if (level >= 0) level_params_[static_cast<std::size_t>(level)] = params;
+  }
+  bytes_per_level_.assign(level_params_.size(), 0);
+
+  // Pre-intern the per-packet-type energy categories so send() never
+  // builds a "net." + name string on the hot path.
+  for (std::size_t t = 0; t < kPacketTypeCount; ++t) {
+    packet_energy_ids_[t] = CounterRegistry::intern(
+        std::string("net.") +
+        packet_type_name(static_cast<PacketType>(t)));
+  }
+
+  routes_.assign(topo_.endpoint_count() * topo_.endpoint_count(),
+                 RouteRef{});
+  parent_cache_.resize(topo_.vertex_count());
 }
 
 const std::vector<std::uint32_t>& Network::parents_from(VertexId src) {
-  auto it = parent_cache_.find(src);
-  if (it != parent_cache_.end()) return it->second;
+  std::vector<std::uint32_t>& parent = parent_cache_[src];
+  if (!parent.empty()) return parent;
   // BFS over vertices; parent[v] = link id used to reach v (deterministic:
   // links are visited in insertion order).
-  std::vector<std::uint32_t> parent(topo_.vertex_count(), kNoParent);
-  std::deque<VertexId> frontier{src};
+  parent.assign(topo_.vertex_count(), kNoParent);
+  std::vector<VertexId> frontier{src};
   std::vector<bool> seen(topo_.vertex_count(), false);
   seen[src] = true;
-  while (!frontier.empty()) {
-    const VertexId v = frontier.front();
-    frontier.pop_front();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const VertexId v = frontier[head];
     for (LinkId l : topo_.out_links(v)) {
       const VertexId next = topo_.link(l).to;
       if (!seen[next]) {
@@ -48,46 +69,56 @@ const std::vector<std::uint32_t>& Network::parents_from(VertexId src) {
       }
     }
   }
-  return parent_cache_.emplace(src, std::move(parent)).first->second;
+  return parent;
 }
 
-const std::vector<LinkId>& Network::route(VertexId src, VertexId dst) {
-  const auto key = std::make_pair(src, dst);
-  auto it = path_cache_.find(key);
-  if (it != path_cache_.end()) return it->second;
-  std::vector<LinkId> path;
+std::span<const LinkId> Network::route(std::size_t src_ep,
+                                       std::size_t dst_ep) {
+  RouteRef& ref = routes_[src_ep * topo_.endpoint_count() + dst_ep];
+  if (ref.len != kUnresolved) {
+    return {path_arena_.data() + ref.offset, ref.len};
+  }
+  const VertexId src = topo_.endpoint(src_ep);
+  const VertexId dst = topo_.endpoint(dst_ep);
+  const auto offset = static_cast<std::uint32_t>(path_arena_.size());
   if (src != dst) {
     const auto& parent = parents_from(src);
-    ECO_CHECK_MSG(parent[dst] != kNoParent || dst == src,
-                  "destination unreachable");
+    ECO_CHECK_MSG(parent[dst] != kNoParent, "destination unreachable");
     VertexId v = dst;
     while (v != src) {
       const LinkId l = parent[v];
       ECO_CHECK(l != kNoParent);
-      path.push_back(l);
+      path_arena_.push_back(l);
       v = topo_.link(l).from;
     }
-    std::reverse(path.begin(), path.end());
+    std::reverse(path_arena_.begin() + offset, path_arena_.end());
   }
-  return path_cache_.emplace(key, std::move(path)).first->second;
+  ref.offset = offset;
+  ref.len = static_cast<std::uint32_t>(path_arena_.size() - offset);
+  return {path_arena_.data() + ref.offset, ref.len};
 }
 
 TransferResult Network::send(std::size_t src, std::size_t dst,
                              const Packet& packet, SimTime ready) {
   ECO_CHECK(src < topo_.endpoint_count() && dst < topo_.endpoint_count());
-  const VertexId sv = topo_.endpoint(src);
-  const VertexId dv = topo_.endpoint(dst);
   TransferResult result;
   ++packets_;
-  if (sv == dv) {
+  if (src == dst) {
+    result.arrival = ready;
+    return result;
+  }
+  // One route lookup for the whole transfer (the old code re-resolved the
+  // path a second time for the last-byte term).
+  const std::span<const LinkId> path = route(src, dst);
+  if (path.empty()) {  // distinct endpoints sharing a vertex
     result.arrival = ready;
     return result;
   }
   const Bytes wire = packet.wire_bytes();
   SimTime head = ready;
-  for (LinkId l : route(sv, dv)) {
+  for (LinkId l : path) {
     const TopoLink& link = topo_.link(l);
-    const LinkParams& p = params_for_level(link.level);
+    const LinkParams& p = level_params_[static_cast<std::size_t>(link.level)];
     const SimDuration serialization = p.bandwidth.transfer_time(wire);
     CalendarTimeline& tl =
         config_.shared_medium ? bus_timeline_ : link_timelines_[l];
@@ -99,45 +130,64 @@ TransferResult Network::send(std::size_t src, std::size_t dst,
     result.energy += p.pj_per_byte * static_cast<double>(wire);
     result.energy += p.pj_per_packet;
     byte_hops_ += wire;
-    bytes_per_level_[link.level] += wire;
+    bytes_per_level_[static_cast<std::size_t>(link.level)] += wire;
   }
   // Last-byte arrival: head arrival plus one serialization tail on the
   // final (bottleneck-approximated) link.
-  const auto& path = route(sv, dv);
-  const LinkParams& last = params_for_level(topo_.link(path.back()).level);
+  const LinkParams& last =
+      level_params_[static_cast<std::size_t>(topo_.link(path.back()).level)];
   result.arrival = head + last.bandwidth.transfer_time(wire);
-  energy_.charge(std::string("net.") + packet_type_name(packet.type),
+  energy_.charge(packet_energy_ids_[static_cast<std::size_t>(packet.type)],
                  result.energy);
   return result;
 }
 
 int Network::hop_count(std::size_t src, std::size_t dst) {
   ECO_CHECK(src < topo_.endpoint_count() && dst < topo_.endpoint_count());
-  return static_cast<int>(
-      route(topo_.endpoint(src), topo_.endpoint(dst)).size());
+  return static_cast<int>(route(src, dst).size());
 }
 
 int Network::diameter() {
+  // One BFS per source endpoint with a hop-distance array: O(V + L) per
+  // source instead of re-walking the parent chain for every destination
+  // pair (which was quadratic in path length per pair).
   int best = 0;
+  std::vector<int> dist(topo_.vertex_count());
+  std::vector<VertexId> frontier;
+  frontier.reserve(topo_.vertex_count());
   for (std::size_t s = 0; s < topo_.endpoint_count(); ++s) {
-    // One BFS per endpoint; reuse the parent cache.
-    const auto& parent = parents_from(topo_.endpoint(s));
+    const VertexId sv = topo_.endpoint(s);
+    dist.assign(topo_.vertex_count(), -1);
+    frontier.clear();
+    frontier.push_back(sv);
+    dist[sv] = 0;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const VertexId v = frontier[head];
+      for (LinkId l : topo_.out_links(v)) {
+        const VertexId next = topo_.link(l).to;
+        if (dist[next] < 0) {
+          dist[next] = dist[v] + 1;
+          frontier.push_back(next);
+        }
+      }
+    }
     for (std::size_t d = 0; d < topo_.endpoint_count(); ++d) {
       if (s == d) continue;
-      // Count hops by walking the parent chain.
-      int hops = 0;
-      VertexId v = topo_.endpoint(d);
-      const VertexId sv = topo_.endpoint(s);
-      while (v != sv) {
-        const std::uint32_t l = parent[v];
-        ECO_CHECK(l != kNoParent);
-        v = topo_.link(l).from;
-        ++hops;
-      }
+      const int hops = dist[topo_.endpoint(d)];
+      ECO_CHECK_MSG(hops >= 0, "destination unreachable");
       best = std::max(best, hops);
     }
   }
   return best;
+}
+
+std::map<int, std::uint64_t> Network::bytes_per_level() const {
+  std::map<int, std::uint64_t> out;
+  for (std::size_t l = 0; l < bytes_per_level_.size(); ++l) {
+    if (bytes_per_level_[l] != 0) out.emplace(static_cast<int>(l),
+                                              bytes_per_level_[l]);
+  }
+  return out;
 }
 
 SimTime Network::max_link_busy() const {

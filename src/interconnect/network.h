@@ -8,9 +8,11 @@
 // energy, with per-level parameters (higher levels are longer and costlier).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/energy.h"
@@ -68,10 +70,9 @@ class Network {
   std::uint64_t total_packets() const { return packets_; }
   /// Sum over links of bytes carried: the "byte-hops" traffic metric.
   std::uint64_t byte_hops() const { return byte_hops_; }
-  /// Bytes carried per level.
-  const std::map<int, std::uint64_t>& bytes_per_level() const {
-    return bytes_per_level_;
-  }
+  /// Bytes carried per level (materialized from the dense per-level array;
+  /// levels never traversed are omitted, matching the old map semantics).
+  std::map<int, std::uint64_t> bytes_per_level() const;
   /// Peak serialization backlog seen on any link timeline.
   SimTime max_link_busy() const;
   double max_link_utilization(SimTime horizon) const;
@@ -85,8 +86,14 @@ class Network {
   const Topology& topology() const { return topo_; }
 
  private:
-  const std::vector<LinkId>& route(VertexId src, VertexId dst);
-  const LinkParams& params_for_level(int level) const;
+  /// Route between endpoint *indices*, resolved through the dense route
+  /// table (offsets into one shared LinkId arena). Lazily built; the
+  /// returned span is valid until the next cold route is materialized.
+  std::span<const LinkId> route(std::size_t src_ep, std::size_t dst_ep);
+  const LinkParams& params_for_level(int level) const {
+    const auto l = static_cast<std::size_t>(level);
+    return l < level_params_.size() ? level_params_[l] : level_params_[0];
+  }
   const std::vector<std::uint32_t>& parents_from(VertexId src);
 
   Topology topo_;
@@ -96,11 +103,26 @@ class Network {
   EnergyMeter energy_;
   std::uint64_t packets_ = 0;
   std::uint64_t byte_hops_ = 0;
-  std::map<int, std::uint64_t> bytes_per_level_;
 
-  // Routing caches.
-  std::map<VertexId, std::vector<std::uint32_t>> parent_cache_;  // BFS trees
-  std::map<std::pair<VertexId, VertexId>, std::vector<LinkId>> path_cache_;
+  // Dense hot tables, built at construction (see DESIGN.md §7.3):
+  //  * level_params_[l] — O(1) per-hop parameter lookup (absent levels
+  //    fall back to a copy of level 0);
+  //  * bytes_per_level_[l] — per-level traffic tally;
+  //  * packet_energy_ids_[type] — pre-interned "net.<type>" CounterIds.
+  std::vector<LinkParams> level_params_;
+  std::vector<std::uint64_t> bytes_per_level_;
+  std::array<CounterId, kPacketTypeCount> packet_energy_ids_{};
+
+  // Routing caches. routes_ is a dense src*E+dst table of {offset, len}
+  // into path_arena_; parent trees are cached per source vertex.
+  struct RouteRef {
+    std::uint32_t offset = 0;
+    std::uint32_t len = kUnresolved;
+  };
+  static constexpr std::uint32_t kUnresolved = 0xFFFFFFFFu;
+  std::vector<RouteRef> routes_;            // endpoint_count()^2
+  std::vector<LinkId> path_arena_;          // shared storage for all routes
+  std::vector<std::vector<std::uint32_t>> parent_cache_;  // BFS trees
 };
 
 }  // namespace ecoscale

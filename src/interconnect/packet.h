@@ -6,6 +6,7 @@
 // blocks and MPI-style messages between Compute Nodes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -26,6 +27,10 @@ enum class PacketType : std::uint8_t {
   kCoherence,   // snoop / invalidate (baseline global-coherence runs only)
   kMessage,     // MPI-level message between Compute Nodes
 };
+
+/// Number of PacketType values (dense per-type tables index by the enum).
+inline constexpr std::size_t kPacketTypeCount =
+    static_cast<std::size_t>(PacketType::kMessage) + 1;
 
 const char* packet_type_name(PacketType t);
 

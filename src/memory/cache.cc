@@ -20,6 +20,7 @@ Cache::Cache(std::string name, CacheConfig config)
   ECO_CHECK(config_.capacity % (config_.line_size * config_.ways) == 0);
   sets_ = config_.capacity / (config_.line_size * config_.ways);
   ECO_CHECK(sets_ > 0);
+  if ((sets_ & (sets_ - 1)) == 0) set_mask_ = sets_ - 1;
   ways_.resize(sets_ * config_.ways);
 }
 

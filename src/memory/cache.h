@@ -82,13 +82,19 @@ class Cache {
     std::uint64_t lru = 0;  // larger = more recent
   };
 
-  std::size_t set_of(std::uint64_t line) const { return line % sets_; }
+  /// Set index: sets_ is almost always a power of two (capacity and line
+  /// size are), so the lookup fast path is a mask; the modulo only survives
+  /// for exotic configs.
+  std::size_t set_of(std::uint64_t line) const {
+    return set_mask_ != 0 ? (line & set_mask_) : (line % sets_);
+  }
   Way* find(std::uint64_t line);
   const Way* find(std::uint64_t line) const;
 
   std::string name_;
   CacheConfig config_;
   std::size_t sets_;
+  std::uint64_t set_mask_ = 0;  // sets_ - 1 when sets_ is a power of two
   std::vector<Way> ways_;  // sets_ * config_.ways entries
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;

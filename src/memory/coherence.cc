@@ -2,14 +2,16 @@
 
 namespace ecoscale {
 
-std::vector<std::size_t> CoherenceDomain::holders(std::uint64_t line,
-                                                  std::size_t who) const {
-  std::vector<std::size_t> result;
+std::span<const std::size_t> CoherenceDomain::holders(std::uint64_t line,
+                                                      std::size_t who) {
+  holder_scratch_.clear();
   for (std::size_t i = 0; i < caches_.size(); ++i) {
     if (i == who) continue;
-    if (caches_[i]->state(line) != LineState::kInvalid) result.push_back(i);
+    if (caches_[i]->state(line) != LineState::kInvalid) {
+      holder_scratch_.push_back(i);
+    }
   }
-  return result;
+  return holder_scratch_;
 }
 
 std::uint64_t CoherenceDomain::probe_cost(std::size_t actual_holders) const {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -49,6 +50,7 @@ class CoherenceDomain {
   CoherenceDomain(std::vector<Cache*> caches, CoherenceMode mode)
       : caches_(std::move(caches)), mode_(mode) {
     ECO_CHECK(!caches_.empty());
+    holder_scratch_.reserve(caches_.size());
   }
 
   std::size_t size() const { return caches_.size(); }
@@ -66,14 +68,17 @@ class CoherenceDomain {
   std::uint64_t line_of(std::uint64_t addr) const {
     return caches_.front()->line_of(addr);
   }
-  /// Sharers of a line other than `who` that actually hold it.
-  std::vector<std::size_t> holders(std::uint64_t line, std::size_t who) const;
+  /// Sharers of a line other than `who` that actually hold it. Returns a
+  /// view into `holder_scratch_`, valid until the next call — holders() runs
+  /// on every miss, so reusing one buffer keeps the miss path allocation-free.
+  std::span<const std::size_t> holders(std::uint64_t line, std::size_t who);
   /// Messages needed to probe: broadcast probes everyone; directory knows.
   std::uint64_t probe_cost(std::size_t actual_holders) const;
 
   std::vector<Cache*> caches_;
   CoherenceMode mode_;
   CoherenceStats stats_;
+  std::vector<std::size_t> holder_scratch_;
 };
 
 }  // namespace ecoscale

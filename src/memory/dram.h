@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/energy.h"
+#include "common/intern.h"
 #include "common/units.h"
 #include "sim/timeline.h"
 
@@ -41,7 +42,10 @@ class DramChannel {
     r.energy = config_.pj_per_byte * static_cast<double>(bytes) +
                config_.pj_per_access;
     bytes_ += bytes;
-    energy_.charge("dram.access", r.energy);
+    // access() is on the per-request fast path of every memory model above
+    // it; charge the pre-interned id instead of hashing the string.
+    static const CounterId kAccessId = CounterRegistry::intern("dram.access");
+    energy_.charge(kAccessId, r.energy);
     return r;
   }
 

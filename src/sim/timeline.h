@@ -8,10 +8,12 @@
 // chain of reservations.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/units.h"
 
@@ -71,6 +73,14 @@ class Timeline {
 /// set of busy intervals and places each reservation in the first gap at
 /// or after its ready time.
 ///
+/// Storage: a start-sorted ring vector with a `head_` cursor instead of a
+/// node-based map. reserve() sits on the per-access fast path of every
+/// link and DRAM channel, and the dominant workload is near-monotone
+/// arrival times — which on a vector is a contiguous binary search plus an
+/// O(1) append, with no node allocation and no pointer chasing. Out-of-
+/// order arrivals insert mid-vector (a short memmove near the tail, since
+/// skew is bounded by network latency).
+///
 /// Two mechanisms keep the interval set small over long runs (it used to
 /// grow by one entry per reservation, turning reserve() into a scalability
 /// cliff for bench_holistic-sized workloads):
@@ -79,7 +89,8 @@ class Timeline {
 ///  - release(watermark) prunes every interval that ends at or before the
 ///    watermark once the caller can promise that no future reservation will
 ///    be ready before it. Post-watermark reservations see exactly the same
-///    start times as they would without pruning.
+///    start times as they would without pruning. Pruning advances `head_`
+///    and compacts lazily, so a warmed-up epoch loop never allocates.
 class CalendarTimeline {
  public:
   CalendarTimeline() = default;
@@ -93,20 +104,27 @@ class CalendarTimeline {
     busy_ += service;
     if (service == 0) return ready;
     SimTime candidate = ready > watermark_ ? ready : watermark_;
-    // Start from the last interval that begins at or before `candidate`
-    // (it may still overlap), then walk forward.
-    auto it = intervals_.upper_bound(candidate);
-    if (it != intervals_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > candidate) candidate = prev->second;
-    }
-    while (it != intervals_.end() && it->first < candidate + service) {
-      candidate = std::max(candidate, it->second);
-      ++it;
+    const auto begin = intervals_.begin() + static_cast<std::ptrdiff_t>(head_);
+    // Fast path: the reservation lands at or after everything tracked —
+    // the common case under (near-)monotone time.
+    auto it = intervals_.end();
+    if (begin == it || candidate >= (it - 1)->start) {
+      if (begin != it && (it - 1)->end > candidate) candidate = (it - 1)->end;
+    } else {
+      // First interval starting after `candidate` (it may be preceded by
+      // one that still overlaps), then walk forward over overlaps.
+      it = std::upper_bound(
+          begin, intervals_.end(), candidate,
+          [](SimTime t, const Interval& iv) { return t < iv.start; });
+      if (it != begin && (it - 1)->end > candidate) candidate = (it - 1)->end;
+      while (it != intervals_.end() && it->start < candidate + service) {
+        candidate = std::max(candidate, it->end);
+        ++it;
+      }
     }
     insert_coalesced(it, candidate, candidate + service);
     horizon_ = std::max(horizon_, candidate + service);
-    if (intervals_.size() > peak_live_) peak_live_ = intervals_.size();
+    if (live_intervals() > peak_live_) peak_live_ = live_intervals();
     return candidate;
   }
 
@@ -121,17 +139,22 @@ class CalendarTimeline {
   void release(SimTime watermark) {
     if (watermark <= watermark_) return;
     watermark_ = watermark;
-    auto it = intervals_.begin();
-    while (it != intervals_.end() && it->first < watermark) {
-      if (it->second > watermark) {
+    while (head_ < intervals_.size() &&
+           intervals_[head_].start < watermark) {
+      if (intervals_[head_].end > watermark) {
         // Straddles: keep the live tail [watermark, end).
-        const SimTime end = it->second;
-        it = intervals_.erase(it);
-        intervals_.emplace_hint(it, watermark, end);
+        intervals_[head_].start = watermark;
         break;
       }
-      it = intervals_.erase(it);
+      ++head_;
       ++pruned_;
+    }
+    // Reclaim the retired prefix once it dominates the buffer; amortized
+    // O(1) per pruned interval, and erase() never reallocates.
+    if (head_ >= 64 && head_ >= intervals_.size() - head_) {
+      intervals_.erase(intervals_.begin(),
+                       intervals_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
     }
   }
 
@@ -142,7 +165,7 @@ class CalendarTimeline {
 
   // --- interval accounting (prune/coalesce effectiveness) ---------------
   /// Busy intervals currently tracked.
-  std::size_t live_intervals() const { return intervals_.size(); }
+  std::size_t live_intervals() const { return intervals_.size() - head_; }
   /// High-water mark of live_intervals() over the run.
   std::size_t peak_live_intervals() const { return peak_live_; }
   /// Intervals dropped by release().
@@ -157,6 +180,7 @@ class CalendarTimeline {
 
   void reset() {
     intervals_.clear();
+    head_ = 0;
     busy_ = 0;
     reservations_ = 0;
     horizon_ = 0;
@@ -166,38 +190,39 @@ class CalendarTimeline {
   }
 
  private:
-  using IntervalMap = std::map<SimTime, SimTime>;
+  struct Interval {
+    SimTime start;
+    SimTime end;
+  };
 
   /// Insert [start, end), merging with an abutting predecessor and/or
-  /// successor. `next` is the first interval with key >= end (the position
-  /// reserve()'s forward walk stopped at).
-  void insert_coalesced(IntervalMap::iterator next, SimTime start,
+  /// successor. `next` is the first interval with start >= end (the
+  /// position reserve()'s forward walk stopped at).
+  void insert_coalesced(std::vector<Interval>::iterator next, SimTime start,
                         SimTime end) {
-    if (next != intervals_.begin()) {
-      auto prev = std::prev(next);
-      if (prev->second == start) {
-        // Extend the predecessor in place; maybe bridge to the successor.
-        if (next != intervals_.end() && next->first == end) {
-          prev->second = next->second;
-          intervals_.erase(next);
-        } else {
-          prev->second = end;
-        }
-        return;
+    const auto begin = intervals_.begin() + static_cast<std::ptrdiff_t>(head_);
+    if (next != begin && (next - 1)->end == start) {
+      // Extend the predecessor in place; maybe bridge to the successor.
+      if (next != intervals_.end() && next->start == end) {
+        (next - 1)->end = next->end;
+        intervals_.erase(next);
+      } else {
+        (next - 1)->end = end;
       }
-    }
-    if (next != intervals_.end() && next->first == end) {
-      // Extend the successor leftwards (its key changes, so reinsert).
-      const SimTime next_end = next->second;
-      auto hint = intervals_.erase(next);
-      intervals_.emplace_hint(hint, start, next_end);
       return;
     }
-    intervals_.emplace_hint(next, start, end);
+    if (next != intervals_.end() && next->start == end) {
+      // Extend the successor leftwards (order is preserved: start lies
+      // strictly after the predecessor's end).
+      next->start = start;
+      return;
+    }
+    intervals_.insert(next, Interval{start, end});
   }
 
   std::string name_;
-  IntervalMap intervals_;  // start -> end, non-overlapping
+  std::vector<Interval> intervals_;  // sorted, non-overlapping; live at head_
+  std::size_t head_ = 0;             // first live interval
   SimDuration busy_ = 0;
   std::uint64_t reservations_ = 0;
   SimTime horizon_ = 0;

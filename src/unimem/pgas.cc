@@ -8,6 +8,30 @@
 
 namespace ecoscale {
 
+namespace {
+
+/// Energy categories of the access paths, interned once per process so the
+/// per-access lane charges dense CounterIds instead of hashing strings.
+struct PgasCounters {
+  CounterId global_load = CounterRegistry::intern("pgas.global.load");
+  CounterId global_store = CounterRegistry::intern("pgas.global.store");
+  CounterId local_load = CounterRegistry::intern("pgas.local.load");
+  CounterId local_store = CounterRegistry::intern("pgas.local.store");
+  CounterId remote_load = CounterRegistry::intern("pgas.remote.load");
+  CounterId remote_store = CounterRegistry::intern("pgas.remote.store");
+  CounterId atomic_local = CounterRegistry::intern("pgas.atomic.local");
+  CounterId atomic_remote = CounterRegistry::intern("pgas.atomic.remote");
+  CounterId page_migration = CounterRegistry::intern("pgas.page_migration");
+  CounterId task_migration = CounterRegistry::intern("pgas.task_migration");
+};
+
+const PgasCounters& counters() {
+  static const PgasCounters c;
+  return c;
+}
+
+}  // namespace
+
 PgasSystem::PgasSystem(PgasConfig config) : config_(config) {
   ECO_CHECK(config_.nodes >= 1 && config_.workers_per_node >= 1);
   ECO_CHECK(config_.chassis >= 1);
@@ -124,19 +148,15 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   ECO_CHECK(who.node < config_.nodes &&
             who.worker < config_.workers_per_node);
   const PageId page = page_of(addr);
-  const auto owner = directory_.owner(page);
-  ECO_CHECK_MSG(owner.has_value(), "access to unregistered page");
+  const NodeId owner = owner_of(page);
   MemAccess result;
   const WorkerCoord home = addr.home();
 
   // Progressive address translation: each access resolves exactly the
   // hierarchy levels its route traverses (no central translation agent).
   const WorkerCoord effective_home{
-      static_cast<NodeId>(*owner),
-      static_cast<WorkerId>(home.worker % config_.workers_per_node)};
-  const SimDuration translation =
-      translator_->translate(who, effective_home).total_latency;
-  now += translation;
+      owner, static_cast<WorkerId>(home.worker % config_.workers_per_node)};
+  now += translator_->total_latency(who, effective_home);
 
   if (config_.scope == CoherenceScope::kGlobal && !bulk) {
     // Machine-wide coherence: every miss/upgrade snoops every cache in the
@@ -167,13 +187,13 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
                       config_.global_snoop_energy *
                           static_cast<double>(acc.snoop_messages);
     }
-    energy_.charge(write ? "pgas.global.store" : "pgas.global.load",
+    energy_.charge(write ? counters().global_store : counters().global_load,
                    result.energy);
     ++local_accesses_;
     return result;
   }
 
-  if (*owner == who.node) {
+  if (owner == who.node) {
     // Node-local: runs in the node's coherence domain. The requester's
     // cache may hit; a miss goes to the home worker's DRAM.
     ++local_accesses_;
@@ -183,7 +203,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
       result.finish = d.finish;
       result.energy = d.energy;
     } else {
-      auto& domain = *domains_[*owner];
+      auto& domain = *domains_[owner];
       const auto acc = write ? domain.write(who.worker, addr.raw())
                              : domain.read(who.worker, addr.raw());
       result.cache_hit = acc.hit;
@@ -206,7 +226,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
         result.energy += t.energy;
       }
     }
-    energy_.charge(write ? "pgas.local.store" : "pgas.local.load",
+    energy_.charge(write ? counters().local_store : counters().local_load,
                    result.energy);
     return result;
   }
@@ -218,9 +238,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   // The physical copy lives at the home worker of the address within the
   // owning node (after migration the data is re-homed at the owner node's
   // worker 0 DRAM channel — we keep the home worker index for locality).
-  const WorkerCoord where{
-      static_cast<NodeId>(*owner),
-      static_cast<WorkerId>(home.worker % config_.workers_per_node)};
+  const WorkerCoord where = effective_home;
   const Bytes req_payload = write ? size : 0;
   Packet req{write ? PacketType::kWrite
                    : (bulk ? PacketType::kDma : PacketType::kRead),
@@ -232,7 +250,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   const auto back = network_->send(flat(where), flat(who), resp, d.finish);
   result.finish = back.arrival;
   result.energy = fwd.energy + d.energy + back.energy;
-  energy_.charge(write ? "pgas.remote.store" : "pgas.remote.load",
+  energy_.charge(write ? counters().remote_store : counters().remote_load,
                  result.energy);
   return result;
 }
@@ -256,8 +274,7 @@ AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
                                     AtomicOp op, std::uint64_t operand,
                                     SimTime now, std::uint64_t compare) {
   const PageId page = page_of(addr);
-  const auto owner = directory_.owner(page);
-  ECO_CHECK_MSG(owner.has_value(), "atomic on unregistered page");
+  const NodeId owner = owner_of(page);
   ECO_CHECK_MSG((addr.offset() & 7) == 0, "atomic must be 8-byte aligned");
 
   // Functional part: exact RMW against the backing store.
@@ -291,17 +308,17 @@ AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
   // Timing part: the RMW executes at the owning node's memory controller
   // (near-memory atomic unit); remote callers pay one 8-byte round trip.
   constexpr SimDuration kAluLatency = nanoseconds(4);
-  if (*owner == who.node) {
+  if (owner == who.node) {
     const auto home = addr.home();
     const auto d = dram(home).access(now, 8);
     result.finish = d.finish + kAluLatency;
     result.energy = d.energy;
-    energy_.charge("pgas.atomic.local", result.energy);
+    energy_.charge(counters().atomic_local, result.energy);
   } else {
     result.remote = true;
     ++remote_accesses_;
     const WorkerCoord where{
-        static_cast<NodeId>(*owner),
+        owner,
         static_cast<WorkerId>(addr.home().worker % config_.workers_per_node)};
     Packet req{PacketType::kSync, who, where, 16};  // op + operand
     const auto fwd = network_->send(flat(who), flat(where), req, now);
@@ -311,7 +328,7 @@ AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
         network_->send(flat(where), flat(who), resp, d.finish + kAluLatency);
     result.finish = back.arrival;
     result.energy = fwd.energy + d.energy + back.energy;
-    energy_.charge("pgas.atomic.remote", result.energy);
+    energy_.charge(counters().atomic_remote, result.energy);
   }
   return result;
 }
@@ -351,12 +368,14 @@ MigrationResult PgasSystem::migrate_page(PageId page, NodeId dst,
   Packet p{PacketType::kDma, src, dst_w, kPageSize};
   const auto t = network_->send(flat(src), flat(dst_w), p, rd.finish);
   const auto wr = dram(dst_w).access(t.arrival, kPageSize);
-  // 3. Flip ownership.
+  // 3. Flip ownership and drop the one-entry owner memo — it may hold the
+  //    pre-migration owner of this very page.
   directory_.migrate(page, dst);
+  cached_page_ = ~0ull;
   result.finish = wr.finish;
   result.bytes_moved = kPageSize;
   result.energy = rd.energy + t.energy + wr.energy;
-  energy_.charge("pgas.page_migration", result.energy);
+  energy_.charge(counters().page_migration, result.energy);
   return result;
 }
 
@@ -372,7 +391,7 @@ MigrationResult PgasSystem::migrate_task(WorkerCoord from, WorkerCoord to,
   result.finish = t.arrival;
   result.bytes_moved = config_.task_closure_bytes;
   result.energy = t.energy;
-  energy_.charge("pgas.task_migration", result.energy);
+  energy_.charge(counters().task_migration, result.energy);
   return result;
 }
 

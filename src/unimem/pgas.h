@@ -200,6 +200,19 @@ class PgasSystem {
                    bool write, bool bulk, SimTime now);
   std::vector<std::uint8_t>& page_data(PageId page);
 
+  /// Owner of `page` with a one-entry memo in front of the directory —
+  /// access streams revisit the same page line after line, so the common
+  /// case is a single compare. Invalidated by migrate_page(). Checks that
+  /// the page is registered.
+  NodeId owner_of(PageId page) {
+    if (page == cached_page_) return cached_owner_;
+    const auto o = directory_.owner(page);
+    ECO_CHECK_MSG(o.has_value(), "access to unregistered page");
+    cached_page_ = page;
+    cached_owner_ = *o;
+    return *o;
+  }
+
   PgasConfig config_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Cache>> caches_;
@@ -213,6 +226,9 @@ class PgasSystem {
   std::unique_ptr<ProgressiveTranslator> translator_;
   Timeline global_order_{"snoop_order"};  // global-scope baseline only
   EnergyMeter energy_;
+  // One-entry owner memo (see owner_of()).
+  PageId cached_page_ = ~0ull;
+  NodeId cached_owner_ = 0;
 };
 
 }  // namespace ecoscale

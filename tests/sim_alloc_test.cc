@@ -12,9 +12,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <span>
+#include <vector>
 
+#include "interconnect/network.h"
+#include "interconnect/topology.h"
 #include "sim/inline_action.h"
 #include "sim/simulator.h"
+#include "unimem/pgas.h"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -124,6 +129,71 @@ TEST(SimulatorAllocation, SpilledCapturesRecycleThroughPool) {
       << "spilled captures should be served by the recycled block pool";
   EXPECT_EQ(pool_after.pool_misses, pool_before.pool_misses);
   EXPECT_GT(pool_after.pool_hits, pool_before.pool_hits);
+}
+
+// Drive a mixed local/remote/atomic PGAS access pattern for `ops`
+// operations, advancing time and releasing the retired past at epoch
+// boundaries (the contract long-running workloads follow).
+void pgas_pump(PgasSystem& sys, std::span<const GlobalAddress> local,
+               std::span<const GlobalAddress> remote, std::uint64_t ops,
+               SimTime& now) {
+  constexpr std::uint64_t kEpoch = 4096;
+  const WorkerCoord who{0, 0};
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    now += nanoseconds(100);
+    const GlobalAddress addr = (i & 1) ? remote[i % remote.size()]
+                                       : local[i % local.size()];
+    if ((i & 7) == 7) {
+      sys.atomic_rmw(who, addr, AtomicOp::kFetchAdd, 1, now);
+    } else if (i & 2) {
+      sys.store(who, addr, 64, now);
+    } else {
+      sys.load(who, addr, 64, now);
+    }
+    if ((i & (kEpoch - 1)) == 0) sys.release(now);
+  }
+}
+
+TEST(SimulatorAllocation, PgasAccessLoopIsAllocationFreeOnceWarm) {
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  PgasSystem sys(cfg);
+  std::vector<GlobalAddress> local, remote;
+  for (std::size_t i = 0; i < 16; ++i) {
+    local.push_back(sys.alloc(0, i % 2, 4096) + (i * 8) % 4096);
+    remote.push_back(sys.alloc(1, i % 2, 4096) + (i * 8) % 4096);
+  }
+  SimTime now = 0;
+  // Warm up: resolve routes, grow calendars/caches/energy tables, fault in
+  // the backing pages the atomics touch.
+  pgas_pump(sys, local, remote, 3 * 4096, now);
+  const std::uint64_t before = g_allocations.load();
+  pgas_pump(sys, local, remote, 10 * 4096, now);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state PGAS loads/stores/atomics allocated on the hot path";
+}
+
+TEST(SimulatorAllocation, NetworkSendLoopIsAllocationFreeOnceWarm) {
+  Network net(make_tree({4, 4}), NetworkConfig{});
+  const std::size_t endpoints = 16;
+  const auto pump = [&](std::uint64_t ops, SimTime& now) {
+    constexpr std::uint64_t kEpoch = 4096;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      now += nanoseconds(100);
+      const std::size_t src = i % endpoints;
+      const std::size_t dst = (i * 7 + 3) % endpoints;
+      Packet p{PacketType::kWrite, WorkerCoord{0, 0}, WorkerCoord{0, 0}, 64};
+      net.send(src, dst, p, now);
+      if ((i & (kEpoch - 1)) == 0) net.release(now);
+    }
+  };
+  SimTime now = 0;
+  pump(3 * 4096, now);  // warm: all 16x16 routes resolved, calendars sized
+  const std::uint64_t before = g_allocations.load();
+  pump(10 * 4096, now);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state Network::send allocated on the hot path";
 }
 
 TEST(SimulatorAllocation, ColdStartAllocatesOnlyStorageGrowth) {
