@@ -32,12 +32,15 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "obs/trace.h"
 
 namespace ecoscale::bench {
 
 struct Options {
-  std::string json_path;     // empty: no JSON dump
-  std::size_t threads = 0;   // 0: pick from env / hardware
+  std::string json_path;         // empty: no JSON dump
+  std::size_t threads = 0;       // 0: pick from env / hardware
+  std::string trace_path;        // empty: tracing off
+  std::string trace_categories;  // empty/"all": every category
 };
 
 inline Options& options() {
@@ -121,8 +124,27 @@ class JsonSink {
 
 }  // namespace detail
 
+namespace detail {
+
+/// atexit hook for --trace: stop the session, write the Chrome JSON, and
+/// print the span summary. Safe at exit because TraceSession (and the
+/// CounterRegistry it reads names from) are leaked singletons, unlike the
+/// JsonSink above which must flush eagerly.
+inline void flush_trace_at_exit() {
+  auto& session = obs::TraceSession::instance();
+  if (!session.active()) return;
+  session.stop();
+  session.export_file();
+  std::cout << session.summary();
+  std::cout << "trace: wrote " << session.options().path << "\n";
+}
+
+}  // namespace detail
+
 /// Parse common bench flags. Unknown flags are ignored so individual
-/// benches can layer their own parsing on top.
+/// benches can layer their own parsing on top. `--trace <file>` records a
+/// Chrome trace of the whole run (filtered by `--trace-categories a,b,c`)
+/// and writes it at exit.
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,7 +153,18 @@ inline void init(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       options().threads =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options().trace_path = argv[++i];
+    } else if (arg == "--trace-categories" && i + 1 < argc) {
+      options().trace_categories = argv[++i];
     }
+  }
+  if (!options().trace_path.empty()) {
+    obs::TraceOptions topts;
+    topts.path = options().trace_path;
+    topts.categories = obs::cat_mask_from_list(options().trace_categories);
+    obs::TraceSession::instance().start(topts);
+    std::atexit(detail::flush_trace_at_exit);
   }
 }
 

@@ -3,6 +3,7 @@
 
 Usage:
     scripts/bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
+        [--fail-above PCT]
 
 Accepts either format the bench harness emits:
   * a --json dump: {"tables": [{"caption", "headers", "rows"}, ...]}
@@ -80,7 +81,13 @@ def main():
     ap.add_argument("after")
     ap.add_argument("--threshold", type=float, default=None,
                     help="fail if any metric regresses by more than PCT%%")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                    help="regression gate for CI: exit non-zero if any "
+                         "metric regresses by more than PCT%% (synonym for "
+                         "--threshold; the stricter of the two wins)")
     args = ap.parse_args()
+    gates = [t for t in (args.threshold, args.fail_above) if t is not None]
+    gate = min(gates) if gates else None
 
     before = parse_file(args.before)
     after = parse_file(args.after)
@@ -120,9 +127,9 @@ def main():
         label = f"{row_name} [{col}]"
         print(f"{label:<{name_w}}  {old:>12.6g}  {new:>12.6g}  {change:>+7.1f}%")
 
-    if args.threshold is not None and worst > args.threshold:
+    if gate is not None and worst > gate:
         print(f"\nFAIL: worst regression {worst:.1f}% exceeds "
-              f"threshold {args.threshold:.1f}%", file=sys.stderr)
+              f"threshold {gate:.1f}%", file=sys.stderr)
         return 1
     return 0
 

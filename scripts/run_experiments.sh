@@ -19,7 +19,15 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 echo
 echo "Examples:"
+status=0
 for e in build/examples/*; do
   echo "--- $(basename "$e")"
-  "$e" || echo "(exited $?)"
+  if "$e"; then
+    :
+  else
+    rc=$?
+    echo "FAILED: $(basename "$e") exited $rc" >&2
+    status=1
+  fi
 done
+exit "$status"

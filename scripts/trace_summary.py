@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome trace-event JSON dump from --trace.
+
+Usage:
+    scripts/trace_summary.py TRACE.json [--top N]
+        [--require-categories a,b,c] [--min-spans N]
+
+Checks that the file is well-formed (valid JSON, a traceEvents array,
+every event carrying the fields its phase requires, durations
+non-negative) and prints per-category totals plus the top span names by
+total duration. Exits non-zero on a malformed trace, so CI can use it as
+a smoke check:
+
+    scripts/trace_summary.py trace.json \
+        --require-categories sim,runtime,unimem,unilogic
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+# Fields every exported event must carry, per trace-event phase.
+REQUIRED = {
+    "X": ("name", "cat", "pid", "tid", "ts", "dur"),
+    "i": ("name", "cat", "pid", "tid", "ts"),
+    "C": ("name", "cat", "pid", "tid", "ts", "args"),
+    "M": ("name", "pid"),
+}
+
+
+def fail(msg):
+    print(f"trace_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail(f"{path}: missing traceEvents array")
+    return doc
+
+
+def validate(events):
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in REQUIRED:
+            fail(f"event {i}: unknown phase {ph!r}")
+        for field in REQUIRED[ph]:
+            if field not in ev:
+                fail(f"event {i} ({ph} {ev.get('name')!r}): missing {field!r}")
+        if ph == "X" and ev["dur"] < 0:
+            fail(f"event {i} ({ev['name']!r}): negative duration")
+        if ph in ("X", "i", "C") and ev["ts"] < 0:
+            fail(f"event {i} ({ev['name']!r}): negative timestamp")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--top", type=int, default=15,
+                    help="span names to list (default 15)")
+    ap.add_argument("--require-categories", default="",
+                    help="comma list; fail unless every one has events")
+    ap.add_argument("--min-spans", type=int, default=1,
+                    help="fail if fewer complete spans than this (default 1)")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    events = doc["traceEvents"]
+    validate(events)
+
+    spans = [e for e in events if e["ph"] == "X"]
+    by_cat = collections.Counter(e["cat"] for e in events if e["ph"] != "M")
+    lanes = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    dur_by_name = collections.defaultdict(float)
+    count_by_name = collections.Counter()
+    for e in spans:
+        key = (e["cat"], e["name"])
+        dur_by_name[key] += e["dur"]
+        count_by_name[key] += 1
+
+    dropped = (doc.get("otherData") or {}).get("droppedEvents", 0)
+    print(f"{args.trace}: {len(events)} events, {len(spans)} spans, "
+          f"{len(lanes)} lanes, {dropped} dropped")
+    print("events per category:")
+    for cat, n in sorted(by_cat.items()):
+        print(f"  {cat:<10} {n}")
+    print(f"top {args.top} span names by total duration:")
+    ranked = sorted(dur_by_name.items(), key=lambda kv: -kv[1])[:args.top]
+    for (cat, name), total in ranked:
+        print(f"  {cat:<10} {name:<30} {count_by_name[(cat, name)]:>8} "
+              f"spans {total / 1000.0:>12.3f} ms")
+
+    if len(spans) < args.min_spans:
+        fail(f"only {len(spans)} spans (need >= {args.min_spans})")
+    required = [c for c in args.require_categories.split(",") if c]
+    missing = [c for c in required if by_cat.get(c, 0) == 0]
+    if missing:
+        fail(f"no events from required categories: {', '.join(missing)}")
+    print("trace OK")
+
+
+if __name__ == "__main__":
+    main()

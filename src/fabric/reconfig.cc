@@ -6,6 +6,22 @@
 
 namespace ecoscale {
 
+namespace {
+/// Reconfiguration span names, one per compression scheme so a Perfetto
+/// query can split latency by wire format without parsing args.
+struct ReconfigTraceNames {
+  CounterId by_compression[3] = {
+      CounterRegistry::intern("fabric.reconfig.none"),
+      CounterRegistry::intern("fabric.reconfig.rle"),
+      CounterRegistry::intern("fabric.reconfig.lz"),
+  };
+};
+[[maybe_unused]] const ReconfigTraceNames& reconfig_trace_names() {
+  static const ReconfigTraceNames names;
+  return names;
+}
+}  // namespace
+
 ReconfigManager::ReconfigManager(std::string name, ReconfigConfig config)
     : name_(std::move(name)),
       config_(config),
@@ -106,6 +122,13 @@ std::optional<LoadResult> ReconfigManager::ensure_loaded(
   result.ready = start + config_.setup_latency + transfer;
   result.reconfigured = true;
   result.config_bytes = wire;
+  // Reconfiguration span: request to module-ready, wire bytes as the
+  // attribute (bitstream size after compression).
+  ECO_TRACE_SPAN(
+      obs::Cat::kFabric,
+      reconfig_trace_names()
+          .by_compression[static_cast<std::size_t>(config_.compression)],
+      trace_lane_, now, result.ready, wire);
   config_bytes_total_ += wire;
   ++loads_;
   energy_.charge("fabric.config",

@@ -19,6 +19,7 @@
 #include "fabric/accelerator.h"
 #include "fabric/bitstream.h"
 #include "fabric/floorplan.h"
+#include "obs/trace.h"
 #include "sim/timeline.h"
 
 namespace ecoscale {
@@ -87,6 +88,11 @@ class ReconfigManager {
   /// benches can tabulate size without performing a load.
   Bytes wire_bytes_for(const AcceleratorModule& module) const;
 
+  /// Trace lane this fabric's reconfiguration spans land on (pid = node,
+  /// tid = worker); the owning Worker wires it at construction.
+  void set_trace_lane(obs::Lane lane) { trace_lane_ = lane; }
+  obs::Lane trace_lane() const { return trace_lane_; }
+
  private:
   struct Loaded {
     KernelId kernel = 0;
@@ -100,6 +106,7 @@ class ReconfigManager {
 
   std::string name_;
   ReconfigConfig config_;
+  obs::Lane trace_lane_;
   Floorplan floorplan_;
   Timeline config_port_;
   std::map<KernelId, Loaded> loaded_;

@@ -5,11 +5,22 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ecoscale {
 
 namespace {
 constexpr std::uint32_t kNoParent = std::numeric_limits<std::uint32_t>::max();
+
+/// Counter-track names for the interconnect, interned once per process.
+struct NetTraceNames {
+  CounterId packets = CounterRegistry::intern("net.packets");
+  CounterId byte_hops = CounterRegistry::intern("net.byte_hops");
+};
+[[maybe_unused]] const NetTraceNames& net_trace_names() {
+  static const NetTraceNames names;
+  return names;
+}
 }  // namespace
 
 Network::Network(Topology topology, NetworkConfig config)
@@ -139,6 +150,12 @@ TransferResult Network::send(std::size_t src, std::size_t dst,
   result.arrival = head + last.bandwidth.transfer_time(wire);
   energy_.charge(packet_energy_ids_[static_cast<std::size_t>(packet.type)],
                  result.energy);
+  // Cumulative send/hop counter tracks, thinned by the session's sampling
+  // interval (the thread-wide gate interleaves the two tracks).
+  ECO_TRACE_COUNTER(obs::Cat::kNet, net_trace_names().packets,
+                    (obs::Lane{obs::kNetPid, 0}), result.arrival, packets_);
+  ECO_TRACE_COUNTER(obs::Cat::kNet, net_trace_names().byte_hops,
+                    (obs::Lane{obs::kNetPid, 1}), result.arrival, byte_hops_);
   return result;
 }
 

@@ -1,0 +1,468 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace ecoscale::obs {
+
+std::atomic<std::uint32_t> g_trace_mask{0};
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kSim: return "sim";
+    case Cat::kRuntime: return "runtime";
+    case Cat::kUnimem: return "unimem";
+    case Cat::kUnilogic: return "unilogic";
+    case Cat::kFabric: return "fabric";
+    case Cat::kNet: return "net";
+    case Cat::kApp: return "app";
+  }
+  return "?";
+}
+
+std::uint32_t cat_mask_from_list(std::string_view csv) {
+  if (csv.empty() || csv == "all") return kAllCats;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string_view item = csv.substr(pos, comma - pos);
+    for (std::size_t c = 0; c < kCatCount; ++c) {
+      if (item == cat_name(static_cast<Cat>(c))) {
+        mask |= cat_bit(static_cast<Cat>(c));
+      }
+    }
+    pos = comma + 1;
+  }
+  return mask != 0 ? mask : kAllCats;
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity,
+                             std::uint32_t counter_sample_every)
+    : ring_(round_up_pow2(std::max<std::size_t>(capacity, 16))),
+      mask_(ring_.size() - 1),
+      counter_every_(counter_sample_every) {}
+
+TraceSession& TraceSession::instance() {
+  static TraceSession* session = new TraceSession;  // leaked: atexit-safe
+  return *session;
+}
+
+void TraceSession::start(TraceOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = std::move(opts);
+  recorders_.clear();
+  epoch_.fetch_add(1, std::memory_order_release);
+  g_trace_mask.store(opts_.categories, std::memory_order_relaxed);
+}
+
+TraceRecorder* TraceSession::register_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorders_.push_back(std::make_unique<TraceRecorder>(
+      opts_.ring_capacity, opts_.counter_sample_every));
+  return recorders_.back().get();
+}
+
+TraceRecorder& TraceSession::thread_recorder() {
+  thread_local TraceRecorder* rec = nullptr;
+  thread_local std::uint64_t rec_epoch = ~std::uint64_t{0};
+  const std::uint64_t now = epoch_.load(std::memory_order_acquire);
+  if (rec == nullptr || rec_epoch != now) {
+    rec = register_thread();
+    rec_epoch = now;
+  }
+  return *rec;
+}
+
+std::uint64_t TraceSession::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : recorders_) n += r->emitted();
+  return n;
+}
+
+std::uint64_t TraceSession::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : recorders_) n += r->dropped();
+  return n;
+}
+
+// --- export -----------------------------------------------------------------
+
+namespace {
+
+/// A fully-paired span, post repair.
+struct Span {
+  CounterId name = 0;
+  std::uint8_t cat = 0;
+  std::uint16_t pid = 0;
+  std::uint16_t tid = 0;
+  SimTime ts = 0;
+  SimDuration dur = 0;
+  std::uint32_t arg = 0;
+};
+
+struct ExportSet {
+  std::vector<Span> spans;
+  std::vector<TraceEvent> points;  // instants + counters, passed through
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  std::uint64_t dropped = 0;
+  bool empty = true;
+};
+
+/// Walk every recorder window, pair begin/end per (recorder, lane) and
+/// repair orphans: an end whose begin was evicted by ring wrap-around
+/// opens at the window start; a begin that never closed (eviction of the
+/// end, or a genuinely abandoned span such as a failed task) closes at
+/// the window end.
+ExportSet collect(const std::vector<std::unique_ptr<TraceRecorder>>& recs) {
+  ExportSet out;
+  for (const auto& r : recs) {
+    out.dropped += r->dropped();
+    const std::size_t n = r->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = r->at(i);
+      const SimTime end_ts =
+          e.type == EventType::kComplete ? e.ts + e.value : e.ts;
+      if (out.empty) {
+        out.window_start = e.ts;
+        out.window_end = end_ts;
+        out.empty = false;
+      } else {
+        out.window_start = std::min(out.window_start, e.ts);
+        out.window_end = std::max(out.window_end, end_ts);
+      }
+    }
+  }
+  if (out.empty) return out;
+
+  struct OpenSpan {
+    CounterId name;
+    std::uint8_t cat;
+    SimTime ts;
+  };
+  for (const auto& r : recs) {
+    // Lane key = pid << 16 | tid; one begin-stack per lane.
+    std::unordered_map<std::uint32_t, std::vector<OpenSpan>> open;
+    const std::size_t n = r->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = r->at(i);
+      const std::uint32_t lane =
+          (static_cast<std::uint32_t>(e.pid) << 16) | e.tid;
+      switch (e.type) {
+        case EventType::kBegin:
+          open[lane].push_back(OpenSpan{e.name, e.cat, e.ts});
+          break;
+        case EventType::kEnd: {
+          auto& stack = open[lane];
+          Span s;
+          s.name = e.name;
+          s.cat = e.cat;
+          s.pid = e.pid;
+          s.tid = e.tid;
+          s.arg = e.arg;
+          if (!stack.empty()) {
+            // Close the innermost open span; trust the end's name only if
+            // the begin was lost (mismatches come from eviction too).
+            const OpenSpan b = stack.back();
+            stack.pop_back();
+            s.name = b.name;
+            s.cat = b.cat;
+            s.ts = b.ts;
+            s.dur = e.ts - b.ts;
+          } else {
+            s.ts = out.window_start;
+            s.dur = e.ts - out.window_start;
+          }
+          out.spans.push_back(s);
+          break;
+        }
+        case EventType::kComplete: {
+          Span s;
+          s.name = e.name;
+          s.cat = e.cat;
+          s.pid = e.pid;
+          s.tid = e.tid;
+          s.ts = e.ts;
+          s.dur = e.value;
+          s.arg = e.arg;
+          out.spans.push_back(s);
+          break;
+        }
+        case EventType::kInstant:
+        case EventType::kCounter:
+          out.points.push_back(e);
+          break;
+      }
+    }
+    for (auto& [lane, stack] : open) {
+      for (const OpenSpan& b : stack) {
+        Span s;
+        s.name = b.name;
+        s.cat = b.cat;
+        s.pid = static_cast<std::uint16_t>(lane >> 16);
+        s.tid = static_cast<std::uint16_t>(lane & 0xFFFF);
+        s.ts = b.ts;
+        s.dur = out.window_end - b.ts;
+        out.spans.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+/// Picoseconds to the microsecond doubles Chrome expects; 6 decimals keep
+/// picosecond precision exactly.
+void append_us(std::string& out, SimTime ps) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%06" PRIu64, ps / 1000000,
+                ps % 1000000);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_common(std::string& out, CounterId name, std::uint8_t cat,
+                   std::uint16_t pid, std::uint16_t tid, SimTime ts) {
+  out += "{\"name\":\"";
+  append_escaped(out, CounterRegistry::name(name));
+  out += "\",\"cat\":\"";
+  out += cat_name(static_cast<Cat>(cat));
+  out += "\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_us(out, ts);
+}
+
+std::string lane_process_name(std::uint16_t pid) {
+  if (pid == kSimPid) return "sim-kernel";
+  if (pid == kNetPid) return "interconnect";
+  return "node" + std::to_string(pid);
+}
+
+std::string lane_thread_name(std::uint16_t tid) {
+  if (tid >= kQueueTidBase && tid < kQueueTidBase + 0x100) {
+    return "queue" + std::to_string(tid - kQueueTidBase);
+  }
+  return "lane" + std::to_string(tid);
+}
+
+}  // namespace
+
+void TraceSession::export_json(std::ostream& os) const {
+  std::vector<std::unique_ptr<TraceRecorder>>* recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recs = &recorders_;
+  }
+  const ExportSet set = collect(*recs);
+
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"droppedEvents\":"
+     << set.dropped << "},\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  auto emit_line = [&] {
+    if (!first) os << ",";
+    os << "\n" << line;
+    first = false;
+    line.clear();
+  };
+
+  // Metadata: name every process and thread lane that appears.
+  std::set<std::uint16_t> pids;
+  std::set<std::uint32_t> lanes;
+  auto note_lane = [&](std::uint16_t pid, std::uint16_t tid) {
+    pids.insert(pid);
+    lanes.insert((static_cast<std::uint32_t>(pid) << 16) | tid);
+  };
+  for (const Span& s : set.spans) note_lane(s.pid, s.tid);
+  for (const TraceEvent& e : set.points) note_lane(e.pid, e.tid);
+  for (const std::uint16_t pid : pids) {
+    line = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"args\":{\"name\":\"";
+    append_escaped(line, lane_process_name(pid));
+    line += "\"}}";
+    emit_line();
+  }
+  for (const std::uint32_t lane : lanes) {
+    const auto pid = static_cast<std::uint16_t>(lane >> 16);
+    const auto tid = static_cast<std::uint16_t>(lane & 0xFFFF);
+    line = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"name\":\"";
+    append_escaped(line, lane_thread_name(tid));
+    line += "\"}}";
+    emit_line();
+  }
+
+  for (const Span& s : set.spans) {
+    append_common(line, s.name, s.cat, s.pid, s.tid, s.ts);
+    line += ",\"ph\":\"X\",\"dur\":";
+    append_us(line, s.dur);
+    if (s.arg != 0) {
+      line += ",\"args\":{\"v\":" + std::to_string(s.arg) + "}";
+    }
+    line += "}";
+    emit_line();
+  }
+  for (const TraceEvent& e : set.points) {
+    append_common(line, e.name, e.cat, e.pid, e.tid, e.ts);
+    if (e.type == EventType::kCounter) {
+      line += ",\"ph\":\"C\",\"args\":{\"value\":" + std::to_string(e.value) +
+              "}";
+    } else {
+      line += ",\"ph\":\"i\",\"s\":\"t\"";
+      if (e.arg != 0) {
+        line += ",\"args\":{\"v\":" + std::to_string(e.arg) + "}";
+      }
+    }
+    line += "}";
+    emit_line();
+  }
+  os << "\n]}\n";
+}
+
+bool TraceSession::export_file(const std::string& path) const {
+  const std::string& target = path.empty() ? opts_.path : path;
+  if (target.empty()) return false;
+  std::ofstream out(target);
+  if (!out) return false;
+  export_json(out);
+  return static_cast<bool>(out);
+}
+
+std::string TraceSession::summary(std::size_t top_n) const {
+  std::vector<std::unique_ptr<TraceRecorder>>* recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recs = &recorders_;
+  }
+  ExportSet set = collect(*recs);
+
+  // Self time: per lane, sort spans by (start asc, dur desc) so parents
+  // precede the children they contain, then subtract each child's
+  // duration from the innermost enclosing span.
+  struct Agg {
+    std::uint64_t count = 0;
+    SimDuration total = 0;
+    SimDuration self = 0;
+  };
+  std::map<std::pair<std::uint8_t, CounterId>, Agg> by_name;
+  std::stable_sort(set.spans.begin(), set.spans.end(),
+                   [](const Span& a, const Span& b) {
+                     const std::uint32_t la =
+                         (static_cast<std::uint32_t>(a.pid) << 16) | a.tid;
+                     const std::uint32_t lb =
+                         (static_cast<std::uint32_t>(b.pid) << 16) | b.tid;
+                     if (la != lb) return la < lb;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  std::vector<std::pair<const Span*, SimDuration>> stack;  // span, self
+  std::uint32_t stack_lane = ~std::uint32_t{0};
+  auto pop_into_agg = [&](const std::pair<const Span*, SimDuration>& top) {
+    Agg& a = by_name[{top.first->cat, top.first->name}];
+    ++a.count;
+    a.total += top.first->dur;
+    a.self += top.second;
+  };
+  for (const Span& s : set.spans) {
+    const std::uint32_t lane =
+        (static_cast<std::uint32_t>(s.pid) << 16) | s.tid;
+    if (lane != stack_lane) {
+      while (!stack.empty()) {
+        pop_into_agg(stack.back());
+        stack.pop_back();
+      }
+      stack_lane = lane;
+    }
+    while (!stack.empty() &&
+           stack.back().first->ts + stack.back().first->dur <= s.ts) {
+      pop_into_agg(stack.back());
+      stack.pop_back();
+    }
+    if (!stack.empty() &&
+        s.ts + s.dur <= stack.back().first->ts + stack.back().first->dur) {
+      // Nested: the parent's self time excludes this child.
+      stack.back().second -= std::min(stack.back().second, s.dur);
+      stack.emplace_back(&s, s.dur);
+    } else {
+      // Overlap without containment (e.g. queue lanes): treat as a root.
+      stack.emplace_back(&s, s.dur);
+    }
+  }
+  while (!stack.empty()) {
+    pop_into_agg(stack.back());
+    stack.pop_back();
+  }
+
+  std::uint64_t total_events = 0;
+  std::uint64_t dropped = 0;
+  for (const auto& r : *recs) {
+    total_events += r->emitted();
+    dropped += r->dropped();
+  }
+
+  std::ostringstream os;
+  os << "trace summary: " << total_events << " events (" << set.spans.size()
+     << " spans, " << dropped << " evicted), window "
+     << to_milliseconds(set.empty ? 0 : set.window_end - set.window_start)
+     << " ms sim-time\n";
+  std::vector<std::pair<std::pair<std::uint8_t, CounterId>, Agg>> ranked(
+      by_name.begin(), by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+  if (!ranked.empty()) {
+    os << "top spans by total time (cat name count total_ms self_ms):\n";
+    char buf[160];
+    for (std::size_t i = 0; i < std::min(top_n, ranked.size()); ++i) {
+      const auto& [key, agg] = ranked[i];
+      std::snprintf(buf, sizeof buf,
+                    "  %-8s %-28s %10" PRIu64 " %12.3f %12.3f\n",
+                    cat_name(static_cast<Cat>(key.first)),
+                    CounterRegistry::name(key.second).c_str(), agg.count,
+                    to_milliseconds(agg.total), to_milliseconds(agg.self));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ecoscale::obs

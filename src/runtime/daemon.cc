@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace ecoscale {
+
+namespace {
+[[maybe_unused]] CounterId daemon_prefetch_name() {
+  static const CounterId id = CounterRegistry::intern("daemon.prefetch");
+  return id;
+}
+}  // namespace
 
 std::size_t ReconfigDaemon::tick(SimTime now) {
   // 1. Fold the period's calls into the EWMA scores.
@@ -51,6 +60,8 @@ std::size_t ReconfigDaemon::tick(SimTime now) {
     if (r && r->reconfigured) {
       ++prefetches_;
       ++loaded;
+      ECO_TRACE_INSTANT(obs::Cat::kRuntime, daemon_prefetch_name(),
+                        fabric_.trace_lane(), now, kernel);
     }
   }
   return loaded;

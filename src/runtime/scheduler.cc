@@ -4,8 +4,39 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ecoscale {
+
+namespace {
+/// Task-lifetime trace names (ready -> dispatch -> complete, plus the
+/// migration/failure instants), interned once per process.
+struct TaskTraceNames {
+  CounterId queue = CounterRegistry::intern("task.queue");
+  CounterId exec = CounterRegistry::intern("task.exec");
+  CounterId spill = CounterRegistry::intern("task.spill");
+  CounterId forward = CounterRegistry::intern("task.forward");
+  CounterId fail = CounterRegistry::intern("task.fail");
+};
+[[maybe_unused]] const TaskTraceNames& task_trace_names() {
+  static const TaskTraceNames names;
+  return names;
+}
+
+/// Execution lane of flat worker `w`: pid = node, tid = worker-in-node.
+[[maybe_unused]] obs::Lane worker_lane(std::size_t w, std::size_t per_node) {
+  return obs::Lane{static_cast<std::uint16_t>(w / per_node),
+                   static_cast<std::uint16_t>(w % per_node)};
+}
+
+/// Queue-wait lane of flat worker `w` (queue spans overlap, so they get a
+/// sibling lane instead of breaking the execution lane's nesting).
+[[maybe_unused]] obs::Lane queue_lane(std::size_t w, std::size_t per_node) {
+  return obs::Lane{
+      static_cast<std::uint16_t>(w / per_node),
+      static_cast<std::uint16_t>(obs::kQueueTidBase + w % per_node)};
+}
+}  // namespace
 
 RuntimeSystem::RuntimeSystem(Machine& machine, Simulator& sim,
                              RuntimeConfig config)
@@ -64,6 +95,9 @@ void RuntimeSystem::submit(const Task& task) {
       return;
     }
     // Forwarding ships the task closure to the chosen worker.
+    ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().forward,
+                      worker_lane(target, machine_.workers_per_node()),
+                      sim_.now(), task.id);
     const auto mig = machine_.pgas().migrate_task(
         task.home, machine_.pgas().coord(target), sim_.now());
     sim_.schedule_at(mig.finish, [this, target, task] {
@@ -138,6 +172,9 @@ void RuntimeSystem::arrive(std::size_t worker, Task task, int spill_hops) {
     if (depth >= config_.spill_depth) {
       const std::size_t target = spill_target(worker, task, spill_hops);
       ++monitor_messages_;  // one forward message, zero polling
+      ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().spill,
+                        worker_lane(worker, machine_.workers_per_node()),
+                        sim_.now(), task.id);
       forwarded_[task.id] = true;
       const auto mig = machine_.pgas().migrate_task(
           machine_.pgas().coord(worker), machine_.pgas().coord(target),
@@ -239,6 +276,17 @@ void RuntimeSystem::dispatch(std::size_t worker) {
   }
   DeviceClass device = place(task, worker);
 
+  // Ready -> dispatch (queue wait) as a complete span on the worker's
+  // queue lane; dispatch -> complete as a begin/end pair on its execution
+  // lane, closed by the completion event below. A task lost to failure
+  // injection never closes its begin — the exporter repairs it, and the
+  // orphan is itself the signal (the span runs to the end of the window).
+  const std::size_t per_node = machine_.workers_per_node();
+  ECO_TRACE_SPAN(obs::Cat::kRuntime, task_trace_names().queue,
+                 queue_lane(worker, per_node), task.release, now, task.id);
+  ECO_TRACE_BEGIN(obs::Cat::kRuntime, task_trace_names().exec,
+                  worker_lane(worker, per_node), now);
+
   TaskResult result;
   result.id = task.id;
   result.release = task.release;
@@ -256,7 +304,6 @@ void RuntimeSystem::dispatch(std::size_t worker) {
   } else {
     const AcceleratorModule* variant = choose_variant(task.kernel, worker);
     ECO_CHECK(variant != nullptr);
-    const std::size_t per_node = machine_.workers_per_node();
     const auto node = static_cast<NodeId>(worker / per_node);
     const std::size_t in_node = worker % per_node;
     const DispatchPolicy pool_policy =
@@ -299,6 +346,8 @@ void RuntimeSystem::dispatch(std::size_t worker) {
           rng_.exponential(1e12 / config_.failures_per_second));
       ++failures_;
       ++reexecutions_;
+      ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().fail,
+                        worker_lane(worker, per_node), fail_at, task.id);
       sim_.schedule_at(fail_at + config_.repair_time,
                        [this, worker, task] {
                          workers_[worker].busy = false;
@@ -314,6 +363,9 @@ void RuntimeSystem::dispatch(std::size_t worker) {
     // Training part: feed the measured execution back into the models.
     const Task* task = nullptr;  // features captured in result via recompute
     (void)task;
+    ECO_TRACE_END(obs::Cat::kRuntime, task_trace_names().exec,
+                  worker_lane(worker, machine_.workers_per_node()),
+                  sim_.now());
     results_.push_back(result);
     --pending_;
     workers_[worker].busy = false;

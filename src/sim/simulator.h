@@ -22,9 +22,23 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/inline_action.h"
 
 namespace ecoscale {
+
+namespace detail {
+/// Interned event names for the kernel's trace sites, resolved once.
+struct SimTraceNames {
+  CounterId run = CounterRegistry::intern("sim.run");
+  CounterId step = CounterRegistry::intern("sim.step");
+  CounterId pending = CounterRegistry::intern("sim.pending");
+};
+inline const SimTraceNames& sim_trace_names() {
+  static const SimTraceNames names;
+  return names;
+}
+}  // namespace detail
 
 class Simulator {
  public:
@@ -75,8 +89,12 @@ class Simulator {
   /// Run until the event queue is empty.
   void run() {
     const auto t0 = Clock::now();
+    ECO_TRACE_BEGIN(obs::Cat::kSim, detail::sim_trace_names().run,
+                    (obs::Lane{obs::kSimPid, 0}), now_);
     while (step_untimed()) {
     }
+    ECO_TRACE_END(obs::Cat::kSim, detail::sim_trace_names().run,
+                  (obs::Lane{obs::kSimPid, 0}), now_);
     wall_ns_ += elapsed_ns(t0);
   }
 
@@ -260,6 +278,14 @@ class Simulator {
       // the slab; start pulling it in while this action runs.
       __builtin_prefetch(&slot_ref(next->slot));
     }
+    // Dispatch span: the clock advance this event retired, with the queue
+    // depth it left behind — the timeline view of where sim-time goes.
+    ECO_TRACE_SPAN(obs::Cat::kSim, detail::sim_trace_names().step,
+                   (obs::Lane{obs::kSimPid, 0}), now_, entry.time,
+                   pending_events());
+    ECO_TRACE_COUNTER(obs::Cat::kSim, detail::sim_trace_names().pending,
+                      (obs::Lane{obs::kSimPid, 0}), entry.time,
+                      pending_events());
     now_ = entry.time;
     ++events_processed_;
     action();

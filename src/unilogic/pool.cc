@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ecoscale {
+
+namespace {
+/// Accelerator-sharing trace names, interned once per process.
+struct PoolTraceNames {
+  CounterId queue = CounterRegistry::intern("unilogic.queue");
+  CounterId exec = CounterRegistry::intern("unilogic.exec");
+  CounterId doorbell = CounterRegistry::intern("unilogic.doorbell");
+};
+[[maybe_unused]] const PoolTraceNames& pool_trace_names() {
+  static const PoolTraceNames names;
+  return names;
+}
+}  // namespace
 
 SimTime UnilogicPool::estimate_start(std::size_t w,
                                      const AcceleratorModule& module,
@@ -50,6 +65,11 @@ std::optional<UnilogicInvoke> UnilogicPool::invoke(
   SimTime ready = now;
   Picojoules extra_energy = 0.0;
 
+  // Spans land on the executing fabric's lane (the accelerator view of
+  // C4 sharing: who queued behind whom, and for how long).
+  [[maybe_unused]] const obs::Lane lane{workers_[target]->coord().node,
+                                        workers_[target]->coord().worker};
+
   if (remote) {
     // Doorbell: user-level store to the remote block's mapped registers.
     Packet bell{PacketType::kInterrupt,
@@ -59,6 +79,8 @@ std::optional<UnilogicInvoke> UnilogicPool::invoke(
                                  endpoint_base_ + target, bell, now);
     ready = t.arrival;
     extra_energy += t.energy;
+    ECO_TRACE_INSTANT(obs::Cat::kUnilogic, pool_trace_names().doorbell, lane,
+                      ready, caller);
   }
 
   auto exec = workers_[target]->run_hardware(module, items, ready,
@@ -75,6 +97,15 @@ std::optional<UnilogicInvoke> UnilogicPool::invoke(
   result.energy = exec->energy + extra_energy;
   result.remote = remote;
   result.reconfigured = exec->reconfigured;
+
+  // Acquire-to-start wait (reconfiguration and/or queueing behind earlier
+  // calls on the shared block), then the execution itself.
+  if (exec->start > ready) {
+    ECO_TRACE_SPAN(obs::Cat::kUnilogic, pool_trace_names().queue, lane, ready,
+                   exec->start, caller);
+  }
+  ECO_TRACE_SPAN(obs::Cat::kUnilogic, pool_trace_names().exec, lane,
+                 exec->start, exec->finish, items);
 
   if (remote) {
     ++remote_invocations_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ecoscale {
 
@@ -151,6 +152,8 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   const NodeId owner = owner_of(page);
   MemAccess result;
   const WorkerCoord home = addr.home();
+  // Trace spans start at issue time, before translation advances `now`.
+  [[maybe_unused]] const SimTime issued = now;
 
   // Progressive address translation: each access resolves exactly the
   // hierarchy levels its route traverses (no central translation agent).
@@ -252,6 +255,13 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   result.energy = fwd.energy + d.energy + back.energy;
   energy_.charge(write ? counters().remote_store : counters().remote_load,
                  result.energy);
+  // Every remote access is a span on the requesting worker's lane: the
+  // full translate + route + DRAM + respond round trip the paper's C3
+  // task-vs-data argument turns on.
+  ECO_TRACE_SPAN(obs::Cat::kUnimem,
+                 write ? counters().remote_store : counters().remote_load,
+                 (obs::Lane{who.node, who.worker}), issued, result.finish,
+                 size);
   return result;
 }
 
@@ -376,6 +386,8 @@ MigrationResult PgasSystem::migrate_page(PageId page, NodeId dst,
   result.bytes_moved = kPageSize;
   result.energy = rd.energy + t.energy + wr.energy;
   energy_.charge(counters().page_migration, result.energy);
+  ECO_TRACE_SPAN(obs::Cat::kUnimem, counters().page_migration,
+                 (obs::Lane{dst, 0}), now, result.finish, kPageSize);
   return result;
 }
 
@@ -392,6 +404,9 @@ MigrationResult PgasSystem::migrate_task(WorkerCoord from, WorkerCoord to,
   result.bytes_moved = config_.task_closure_bytes;
   result.energy = t.energy;
   energy_.charge(counters().task_migration, result.energy);
+  ECO_TRACE_SPAN(obs::Cat::kUnimem, counters().task_migration,
+                 (obs::Lane{to.node, to.worker}), now, result.finish,
+                 config_.task_closure_bytes);
   return result;
 }
 

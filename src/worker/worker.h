@@ -48,7 +48,9 @@ class Worker {
         config_(config),
         cpu_(coord.str() + ".cpu", config.cpu),
         fabric_(coord.str() + ".fabric", config.fabric),
-        smmu_(config.smmu) {}
+        smmu_(config.smmu) {
+    fabric_.set_trace_lane(obs::Lane{coord.node, coord.worker});
+  }
 
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;

@@ -1,0 +1,454 @@
+// Tests for the obs tracing subsystem: ring wrap-around, category
+// filtering, counter sampling, begin/end repair at export, and JSON
+// well-formedness (the exported trace is parsed back with a minimal JSON
+// parser below — if Perfetto cannot load it, these tests should not pass).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ecoscale {
+namespace {
+
+// --- minimal JSON parser ----------------------------------------------------
+// Just enough to round-trip the exporter's output: objects, arrays,
+// strings with the escapes the exporter emits, and numbers as doubles.
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;
+  std::map<std::string, Json> fields;
+
+  const Json* find(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    pos_ = s_.size();  // unwind
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::kObject;
+    if (!consume('{')) { fail("expected {"); return v; }
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      Json key = string_value();
+      if (!consume(':')) { fail("expected :"); return v; }
+      v.fields[key.str] = value();
+    } while (consume(','));
+    if (!consume('}')) fail("expected }");
+    return v;
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::kArray;
+    if (!consume('[')) { fail("expected ["); return v; }
+    if (consume(']')) return v;
+    do {
+      v.items.push_back(value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ]");
+    return v;
+  }
+
+  Json string_value() {
+    Json v;
+    v.kind = Json::Kind::kString;
+    if (!consume('"')) { fail("expected string"); return v; }
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            pos_ += 4;  // exporter only emits \u00xx for control chars
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      v.str += c;
+    }
+    if (!consume('"')) fail("unterminated string");
+    return v;
+  }
+
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("expected boolean");
+    }
+    return v;
+  }
+
+  Json null() {
+    Json v;
+    if (s_.compare(pos_, 4, "null") == 0) pos_ += 4;
+    else fail("expected null");
+    return v;
+  }
+
+  Json number() {
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) { fail("expected number"); return v; }
+    v.number = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- recorder-level tests ---------------------------------------------------
+
+TEST(TraceRecorder, WrapEvictsOldestAndKeepsOrder) {
+  obs::TraceRecorder rec(16, 1);
+  const CounterId name = CounterRegistry::intern("obs.test.wrap");
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    rec.emit(obs::EventType::kInstant, obs::Cat::kApp, name,
+             obs::Lane{1, 2}, /*ts=*/i, /*value=*/0,
+             static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(rec.emitted(), 40u);
+  EXPECT_EQ(rec.dropped(), 24u);  // 40 emitted - 16 retained
+  ASSERT_EQ(rec.size(), 16u);
+  // Retained window is the most recent 16 events, oldest first.
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.at(i).ts, 24u + i);
+    EXPECT_EQ(rec.at(i).arg, 24u + i);
+  }
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToPowerOfTwo) {
+  obs::TraceRecorder rec(20, 1);  // rounds up to 32
+  const CounterId name = CounterRegistry::intern("obs.test.cap");
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    rec.emit(obs::EventType::kInstant, obs::Cat::kApp, name,
+             obs::Lane{0, 0}, i, 0, 0);
+  }
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.size(), 32u);
+}
+
+TEST(TraceRecorder, CounterSamplingKeepsEveryNth) {
+  obs::TraceRecorder rec(16, 4);
+  int kept = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (rec.counter_due()) ++kept;
+  }
+  EXPECT_EQ(kept, 4);  // ticks 0, 4, 8, 12
+
+  obs::TraceRecorder all(16, 1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(all.counter_due());
+}
+
+TEST(TraceEventLayout, StaysOneCacheHalfLine) {
+  EXPECT_EQ(sizeof(obs::TraceEvent), 32u);
+}
+
+// --- category mask ----------------------------------------------------------
+
+TEST(CatMask, ParsesListsAndDefaults) {
+  EXPECT_EQ(obs::cat_mask_from_list(""), obs::kAllCats);
+  EXPECT_EQ(obs::cat_mask_from_list("all"), obs::kAllCats);
+  EXPECT_EQ(obs::cat_mask_from_list("unimem,net"),
+            obs::cat_bit(obs::Cat::kUnimem) | obs::cat_bit(obs::Cat::kNet));
+  // Unknown names are ignored; all-unknown falls back to everything.
+  EXPECT_EQ(obs::cat_mask_from_list("unimem,bogus"),
+            obs::cat_bit(obs::Cat::kUnimem));
+  EXPECT_EQ(obs::cat_mask_from_list("bogus"), obs::kAllCats);
+}
+
+#if !defined(ECO_TRACE_DISABLED)
+
+// --- session + export tests -------------------------------------------------
+
+obs::TraceOptions small_options(std::uint32_t categories = obs::kAllCats) {
+  obs::TraceOptions opts;
+  opts.categories = categories;
+  opts.ring_capacity = 1u << 10;
+  opts.counter_sample_every = 1;
+  return opts;
+}
+
+TEST(TraceSession, CategoryMaskGatesTracer) {
+  auto& session = obs::TraceSession::instance();
+  session.start(small_options(obs::cat_bit(obs::Cat::kUnimem)));
+  EXPECT_NE(obs::tracer(obs::Cat::kUnimem), nullptr);
+  EXPECT_EQ(obs::tracer(obs::Cat::kNet), nullptr);
+  session.stop();
+  EXPECT_EQ(obs::tracer(obs::Cat::kUnimem), nullptr);
+}
+
+/// Export the current session and parse it back; fails the test on
+/// malformed JSON.
+Json export_and_parse(const obs::TraceSession& session) {
+  std::ostringstream os;
+  session.export_json(os);
+  JsonParser parser(os.str());
+  Json doc = parser.parse();
+  EXPECT_TRUE(parser.ok()) << parser.error() << "\n" << os.str();
+  return doc;
+}
+
+const Json* find_span(const Json& doc, const std::string& name) {
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const Json& e : events->items) {
+    const Json* ph = e.find("ph");
+    const Json* n = e.find("name");
+    if (ph != nullptr && ph->str == "X" && n != nullptr && n->str == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+TEST(TraceExport, JsonIsWellFormedAndSpansBalance) {
+  auto& session = obs::TraceSession::instance();
+  session.start(small_options());
+
+  const CounterId orphan_end = CounterRegistry::intern("obs.test.orphan_end");
+  const CounterId paired = CounterRegistry::intern("obs.test.paired");
+  const CounterId orphan_begin =
+      CounterRegistry::intern("obs.test.orphan_begin");
+  const CounterId complete = CounterRegistry::intern("obs.test.complete");
+  const CounterId tick = CounterRegistry::intern("obs.test.tick");
+  const obs::Lane lane{3, 7};
+
+  // Window is [50, 1000] (the instants below pin both edges).
+  ECO_TRACE_INSTANT(obs::Cat::kApp, tick, lane, 50, 1);
+  ECO_TRACE_END(obs::Cat::kApp, orphan_end, lane, 100);    // lost its begin
+  ECO_TRACE_BEGIN(obs::Cat::kApp, paired, lane, 200);
+  ECO_TRACE_END(obs::Cat::kApp, paired, lane, 400);
+  ECO_TRACE_SPAN(obs::Cat::kApp, complete, lane, 150, 250, 64);
+  ECO_TRACE_BEGIN(obs::Cat::kApp, orphan_begin, lane, 500);  // never ends
+  ECO_TRACE_COUNTER(obs::Cat::kApp, tick, lane, 600, 42);
+  ECO_TRACE_INSTANT(obs::Cat::kApp, tick, lane, 1000, 2);
+  session.stop();
+
+  const Json doc = export_and_parse(session);
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Kind::kArray);
+
+  // Every exported span must be balanced: non-negative duration, within
+  // the window, carrying pid/tid/cat.
+  for (const Json& e : events->items) {
+    const Json* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str != "X") continue;
+    ASSERT_NE(e.find("dur"), nullptr);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    EXPECT_GE(e.find("ts")->number, 0.0);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+    EXPECT_NE(e.find("cat"), nullptr);
+  }
+
+  // ts/dur are microseconds; sim time above is picoseconds, so 1 ps is
+  // 1e-6 us.
+  const double us = 1e-6;
+  const Json* span = find_span(doc, "obs.test.paired");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("ts")->number, 200 * us);
+  EXPECT_DOUBLE_EQ(span->find("dur")->number, 200 * us);
+  EXPECT_DOUBLE_EQ(span->find("pid")->number, 3.0);
+  EXPECT_DOUBLE_EQ(span->find("tid")->number, 7.0);
+
+  span = find_span(doc, "obs.test.complete");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("dur")->number, 100 * us);
+  ASSERT_NE(span->find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(span->find("args")->find("v")->number, 64.0);
+
+  // Orphaned end: repaired to open at the window start (ts 50).
+  span = find_span(doc, "obs.test.orphan_end");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("ts")->number, 50 * us);
+  EXPECT_DOUBLE_EQ(span->find("dur")->number, 50 * us);
+
+  // Orphaned begin: repaired to close at the window end (ts 1000).
+  span = find_span(doc, "obs.test.orphan_begin");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("ts")->number, 500 * us);
+  EXPECT_DOUBLE_EQ(span->find("dur")->number, 500 * us);
+}
+
+TEST(TraceExport, RingWrapReportsDroppedAndStaysWellFormed) {
+  auto& session = obs::TraceSession::instance();
+  obs::TraceOptions opts = small_options();
+  opts.ring_capacity = 64;
+  session.start(opts);
+
+  const CounterId name = CounterRegistry::intern("obs.test.flood");
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ECO_TRACE_INSTANT(obs::Cat::kApp, name, (obs::Lane{1, 1}), i * 10, i);
+  }
+  session.stop();
+  EXPECT_EQ(session.events_recorded(), 500u);
+  EXPECT_EQ(session.events_dropped(), 500u - 64u);
+
+  const Json doc = export_and_parse(session);
+  const Json* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->find("droppedEvents")->number, 500.0 - 64.0);
+  // Only the newest `ring_capacity` instants survive.
+  std::size_t instants = 0;
+  for (const Json& e : doc.find("traceEvents")->items) {
+    if (e.find("ph")->str == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 64u);
+}
+
+TEST(TraceExport, CategoryFilterDropsDisabledSites) {
+  auto& session = obs::TraceSession::instance();
+  session.start(small_options(obs::cat_bit(obs::Cat::kApp)));
+  const CounterId name = CounterRegistry::intern("obs.test.filtered");
+  ECO_TRACE_INSTANT(obs::Cat::kApp, name, (obs::Lane{0, 0}), 10, 0);
+  ECO_TRACE_INSTANT(obs::Cat::kNet, name, (obs::Lane{0, 0}), 20, 0);
+  session.stop();
+  EXPECT_EQ(session.events_recorded(), 1u);
+}
+
+TEST(TraceSummary, RanksSpansByTotalTime) {
+  auto& session = obs::TraceSession::instance();
+  session.start(small_options());
+  const CounterId big = CounterRegistry::intern("obs.test.big");
+  const CounterId small = CounterRegistry::intern("obs.test.small");
+  const obs::Lane lane{0, 0};
+  ECO_TRACE_SPAN(obs::Cat::kApp, big, lane, 0, 1000000, 0);
+  ECO_TRACE_SPAN(obs::Cat::kApp, small, lane, 0, 1000, 0);
+  session.stop();
+
+  const std::string text = session.summary();
+  const auto big_at = text.find("obs.test.big");
+  const auto small_at = text.find("obs.test.small");
+  ASSERT_NE(big_at, std::string::npos) << text;
+  ASSERT_NE(small_at, std::string::npos) << text;
+  EXPECT_LT(big_at, small_at) << text;  // bigger total ranks first
+}
+
+TEST(TraceExport, NestedSpansAttributeSelfTime) {
+  auto& session = obs::TraceSession::instance();
+  session.start(small_options());
+  const CounterId outer = CounterRegistry::intern("obs.test.outer");
+  const CounterId inner = CounterRegistry::intern("obs.test.inner");
+  const obs::Lane lane{0, 0};
+  // outer [0, 1000], inner [200, 900]: outer self time is 300 ps.
+  ECO_TRACE_SPAN(obs::Cat::kApp, outer, lane, 0, 1000, 0);
+  ECO_TRACE_SPAN(obs::Cat::kApp, inner, lane, 200, 900, 0);
+  session.stop();
+
+  // The summary reports totals in ms; just check both names appear and
+  // the export stays parseable with nesting.
+  const Json doc = export_and_parse(session);
+  EXPECT_NE(find_span(doc, "obs.test.outer"), nullptr);
+  EXPECT_NE(find_span(doc, "obs.test.inner"), nullptr);
+  const std::string text = session.summary();
+  EXPECT_NE(text.find("obs.test.outer"), std::string::npos) << text;
+}
+
+TEST(TraceExport, WritesFileAtGivenPath) {
+  auto& session = obs::TraceSession::instance();
+  obs::TraceOptions opts = small_options();
+  opts.path = ::testing::TempDir() + "/eco_obs_test_trace.json";
+  session.start(opts);
+  const CounterId name = CounterRegistry::intern("obs.test.file");
+  ECO_TRACE_SPAN(obs::Cat::kApp, name, (obs::Lane{0, 0}), 0, 100, 0);
+  session.stop();
+  ASSERT_TRUE(session.export_file());
+
+  std::ifstream in(opts.path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonParser parser(buf.str());
+  parser.parse();
+  EXPECT_TRUE(parser.ok()) << parser.error();
+}
+
+#endif  // !ECO_TRACE_DISABLED
+
+}  // namespace
+}  // namespace ecoscale

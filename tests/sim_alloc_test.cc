@@ -17,6 +17,7 @@
 
 #include "interconnect/network.h"
 #include "interconnect/topology.h"
+#include "obs/trace.h"
 #include "sim/inline_action.h"
 #include "sim/simulator.h"
 #include "unimem/pgas.h"
@@ -195,6 +196,56 @@ TEST(SimulatorAllocation, NetworkSendLoopIsAllocationFreeOnceWarm) {
   EXPECT_EQ(g_allocations.load(), before)
       << "steady-state Network::send allocated on the hot path";
 }
+
+#if !defined(ECO_TRACE_DISABLED)
+TEST(SimulatorAllocation, TracedPgasAndNetworkLoopsStayAllocationFree) {
+  // The tracing promise: with a session armed, the instrumented hot paths
+  // still allocate nothing once warm — an emit is one POD store into the
+  // preallocated per-thread ring, and ring wrap-around evicts in place.
+  // The ring is deliberately smaller than the event volume so the test
+  // covers the wrap path too.
+  obs::TraceOptions topts;
+  topts.ring_capacity = 1u << 15;
+  topts.counter_sample_every = 16;
+  obs::TraceSession::instance().start(topts);
+
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  PgasSystem sys(cfg);
+  std::vector<GlobalAddress> local, remote;
+  for (std::size_t i = 0; i < 16; ++i) {
+    local.push_back(sys.alloc(0, i % 2, 4096) + (i * 8) % 4096);
+    remote.push_back(sys.alloc(1, i % 2, 4096) + (i * 8) % 4096);
+  }
+  Network net(make_tree({4, 4}), NetworkConfig{});
+  const auto net_pump = [&](std::uint64_t ops, SimTime& now) {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      now += nanoseconds(100);
+      Packet p{PacketType::kWrite, WorkerCoord{0, 0}, WorkerCoord{0, 0}, 64};
+      net.send(i % 16, (i * 7 + 3) % 16, p, now);
+      if ((i & 4095) == 0) net.release(now);
+    }
+  };
+
+  // Warm up: routes, calendars, and this thread's trace ring registration
+  // (the one allocating step).
+  SimTime now = 0;
+  pgas_pump(sys, local, remote, 3 * 4096, now);
+  net_pump(3 * 4096, now);
+  ASSERT_GT(obs::TraceSession::instance().events_recorded(), 0u)
+      << "instrumented paths emitted nothing; the test is not tracing";
+
+  const std::uint64_t before = g_allocations.load();
+  pgas_pump(sys, local, remote, 10 * 4096, now);
+  net_pump(10 * 4096, now);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "tracing-enabled steady state allocated on the hot path";
+  EXPECT_GT(obs::TraceSession::instance().events_dropped(), 0u)
+      << "ring never wrapped; shrink the ring so eviction is exercised";
+  obs::TraceSession::instance().stop();
+}
+#endif  // !ECO_TRACE_DISABLED
 
 TEST(SimulatorAllocation, ColdStartAllocatesOnlyStorageGrowth) {
   // Sanity: the warm-up itself does allocate (vector growth, pool fill) —
