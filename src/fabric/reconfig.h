@@ -70,6 +70,15 @@ class ReconfigManager {
   bool is_idle(KernelId kernel, SimTime now) const;
   std::optional<RegionId> region_of(KernelId kernel) const;
 
+  /// Kernels currently resident on the fabric, ascending id. Fault
+  /// injection samples from this set (an SEU corrupts a loaded bitstream).
+  std::vector<KernelId> loaded_kernels() const {
+    std::vector<KernelId> out;
+    out.reserve(loaded_.size());
+    for (const auto& [kernel, entry] : loaded_) out.push_back(kernel);
+    return out;
+  }
+
   /// Explicitly unload a kernel's module.
   void unload(KernelId kernel);
 

@@ -21,6 +21,12 @@ struct NetTraceNames {
   static const NetTraceNames names;
   return names;
 }
+
+/// Stretch a duration by a degradation factor (>= 1.0, rounded to ps).
+SimDuration scale_duration(SimDuration d, double factor) {
+  if (factor == 1.0) return d;
+  return static_cast<SimDuration>(static_cast<double>(d) * factor + 0.5);
+}
 }  // namespace
 
 Network::Network(Topology topology, NetworkConfig config)
@@ -46,6 +52,7 @@ Network::Network(Topology topology, NetworkConfig config)
     if (level >= 0) level_params_[static_cast<std::size_t>(level)] = params;
   }
   bytes_per_level_.assign(level_params_.size(), 0);
+  level_factor_.assign(level_params_.size(), 1.0);
 
   // Pre-intern the per-packet-type energy categories so send() never
   // builds a "net." + name string on the hot path.
@@ -129,8 +136,10 @@ TransferResult Network::send(std::size_t src, std::size_t dst,
   SimTime head = ready;
   for (LinkId l : path) {
     const TopoLink& link = topo_.link(l);
-    const LinkParams& p = level_params_[static_cast<std::size_t>(link.level)];
-    const SimDuration serialization = p.bandwidth.transfer_time(wire);
+    const auto level = static_cast<std::size_t>(link.level);
+    const LinkParams& p = level_params_[level];
+    const SimDuration serialization = scale_duration(
+        p.bandwidth.transfer_time(wire), level_factor_[level]);
     CalendarTimeline& tl =
         config_.shared_medium ? bus_timeline_ : link_timelines_[l];
     // Cut-through: the head must win the link, then pays hop latency;
@@ -145,9 +154,11 @@ TransferResult Network::send(std::size_t src, std::size_t dst,
   }
   // Last-byte arrival: head arrival plus one serialization tail on the
   // final (bottleneck-approximated) link.
-  const LinkParams& last =
-      level_params_[static_cast<std::size_t>(topo_.link(path.back()).level)];
-  result.arrival = head + last.bandwidth.transfer_time(wire);
+  const auto last_level =
+      static_cast<std::size_t>(topo_.link(path.back()).level);
+  const LinkParams& last = level_params_[last_level];
+  result.arrival = head + scale_duration(last.bandwidth.transfer_time(wire),
+                                         level_factor_[last_level]);
   energy_.charge(packet_energy_ids_[static_cast<std::size_t>(packet.type)],
                  result.energy);
   // Cumulative send/hop counter tracks, thinned by the session's sampling
@@ -196,6 +207,14 @@ int Network::diameter() {
     }
   }
   return best;
+}
+
+void Network::set_level_degradation(int level, double factor) {
+  ECO_CHECK_MSG(factor >= 1.0, "degradation factor must be >= 1.0");
+  const auto l = static_cast<std::size_t>(level);
+  ECO_CHECK_MSG(level >= 0 && l < level_factor_.size(),
+                "unknown link level for degradation");
+  level_factor_[l] = factor;
 }
 
 std::map<int, std::uint64_t> Network::bytes_per_level() const {

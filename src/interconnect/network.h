@@ -77,6 +77,17 @@ class Network {
   SimTime max_link_busy() const;
   double max_link_utilization(SimTime horizon) const;
 
+  // --- fault injection --------------------------------------------------
+  /// Degrade (or restore, factor = 1.0) every link of `level`: effective
+  /// serialization time is scaled by `factor` (>= 1.0), modelling a lane
+  /// failure or persistent ECC retraining on that tier of the tree. Hop
+  /// latency is unchanged — degradation throttles bandwidth, not distance.
+  void set_level_degradation(int level, double factor);
+  double level_degradation(int level) const {
+    const auto l = static_cast<std::size_t>(level);
+    return l < level_factor_.size() ? level_factor_[l] : 1.0;
+  }
+
   /// Promise that no future send() departs before `watermark`: prunes every
   /// link calendar's retired intervals (see CalendarTimeline::release).
   void release(SimTime watermark);
@@ -111,6 +122,7 @@ class Network {
   //  * packet_energy_ids_[type] — pre-interned "net.<type>" CounterIds.
   std::vector<LinkParams> level_params_;
   std::vector<std::uint64_t> bytes_per_level_;
+  std::vector<double> level_factor_;  // serialization multiplier, >= 1.0
   std::array<CounterId, kPacketTypeCount> packet_energy_ids_{};
 
   // Routing caches. routes_ is a dense src*E+dst table of {offset, len}

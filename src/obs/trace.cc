@@ -23,6 +23,10 @@ const char* cat_name(Cat c) {
     case Cat::kFabric: return "fabric";
     case Cat::kNet: return "net";
     case Cat::kApp: return "app";
+    case Cat::kFault: return "fault";
+    case Cat::kDetect: return "detect";
+    case Cat::kRetry: return "retry";
+    case Cat::kFailover: return "failover";
   }
   return "?";
 }

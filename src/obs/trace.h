@@ -38,7 +38,9 @@
 namespace ecoscale::obs {
 
 /// Event categories, one bit each in the session filter mask. Fixed small
-/// vocabulary: the subsystem a call site lives in, not the event name.
+/// vocabulary: mostly the subsystem a call site lives in, plus four
+/// cross-cutting fault-lifecycle categories (injection, detection, retry,
+/// failover) that span subsystems and need to be filterable on their own.
 enum class Cat : std::uint8_t {
   kSim = 0,       // simulation kernel (event dispatch, pending depth)
   kRuntime = 1,   // task lifetime: queue/exec/spill/failure, daemon
@@ -47,8 +49,12 @@ enum class Cat : std::uint8_t {
   kFabric = 4,    // partial reconfiguration
   kNet = 5,       // interconnect counters
   kApp = 6,       // free for benches/apps
+  kFault = 7,     // injected faults: crash/repair/node loss/SEU/link
+  kDetect = 8,    // heartbeat-monitor detections of injected faults
+  kRetry = 9,     // bounded retry attempts (PGAS access, pool doorbell)
+  kFailover = 10, // recovery actions: page re-home, task re-queue
 };
-inline constexpr std::size_t kCatCount = 7;
+inline constexpr std::size_t kCatCount = 11;
 
 constexpr std::uint32_t cat_bit(Cat c) {
   return std::uint32_t{1} << static_cast<unsigned>(c);

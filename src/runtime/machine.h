@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/health.h"
 #include "mpi/mpi.h"
 #include "unilogic/pool.h"
 #include "unimem/pgas.h"
@@ -46,6 +47,12 @@ class Machine {
           std::move(node_workers), pgas_->network(),
           n * config_.workers_per_node));
     }
+    // One machine-wide liveness registry, shared by every layer that must
+    // route around failures (all-up unless a fault injector marks workers
+    // down, so the healthy paths are unchanged).
+    health_.reset(worker_count(), config_.workers_per_node);
+    pgas_->set_health(&health_);
+    for (auto& p : pools_) p->set_health(&health_);
   }
 
   std::size_t node_count() const { return config_.nodes; }
@@ -59,6 +66,8 @@ class Machine {
   UnilogicPool& pool(NodeId node) { return *pools_[node]; }
   PgasSystem& pgas() { return *pgas_; }
   MpiWorld& mpi() { return *mpi_; }
+  HealthRegistry& health() { return health_; }
+  const HealthRegistry& health() const { return health_; }
   const MachineConfig& config() const { return config_; }
 
   /// Promise that no future timed operation is issued before `watermark`;
@@ -86,6 +95,7 @@ class Machine {
   std::unique_ptr<MpiWorld> mpi_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<UnilogicPool>> pools_;
+  HealthRegistry health_;
 };
 
 }  // namespace ecoscale

@@ -45,6 +45,14 @@ struct ResilienceOutcome {
   SimTime makespan = 0;
   Picojoules useful_energy = 0.0;
   Picojoules wasted_energy = 0.0;  // progress destroyed by crashes
+  // Causality bookkeeping (0 when no crash / no re-execution happened):
+  SimTime first_crash = 0;
+  SimTime last_crash = 0;
+  /// Earliest start of any re-executed attempt. The detection-latency
+  /// invariant is `earliest_reexec_start >= first_crash + detect_timeout`
+  /// (every retry's start is >= its *own* crash + detect_timeout, which
+  /// implies this observable bound).
+  SimTime earliest_reexec_start = 0;
 };
 
 /// Run `tasks` over a pool of workers under failure injection. Tasks are

@@ -17,6 +17,8 @@ struct TaskTraceNames {
   CounterId spill = CounterRegistry::intern("task.spill");
   CounterId forward = CounterRegistry::intern("task.forward");
   CounterId fail = CounterRegistry::intern("task.fail");
+  CounterId detect = CounterRegistry::intern("fault.detect");
+  CounterId failover = CounterRegistry::intern("task.failover");
 };
 [[maybe_unused]] const TaskTraceNames& task_trace_names() {
   static const TaskTraceNames names;
@@ -54,11 +56,28 @@ RuntimeSystem::RuntimeSystem(Machine& machine, Simulator& sim,
     }
   }
   if (config_.failures_per_second > 0.0) {
+    ECO_CHECK_MSG(!config_.faults.enabled,
+                  "legacy failures_per_second and live fault injection are "
+                  "mutually exclusive");
     next_failure_.resize(machine_.worker_count());
     for (auto& f : next_failure_) {
       f = static_cast<SimTime>(
           rng_.exponential(1e12 / config_.failures_per_second));
     }
+  }
+  if (config_.faults.enabled) {
+    FaultInjector::Callbacks cb;
+    cb.on_worker_down = [this](std::size_t w, SimTime at) {
+      on_worker_down(w, at);
+    };
+    cb.on_worker_up = [this](std::size_t w, SimTime at) {
+      on_worker_up(w, at);
+    };
+    cb.active = [this] { return pending_ > 0; };
+    injector_ = std::make_unique<FaultInjector>(sim_, machine_,
+                                                config_.faults,
+                                                std::move(cb));
+    injector_->arm();
   }
 }
 
@@ -87,6 +106,7 @@ void RuntimeSystem::register_kernel(const KernelIR& kernel,
 void RuntimeSystem::submit(const Task& task) {
   ECO_CHECK_MSG(kernels_.contains(task.kernel), "unregistered kernel");
   ++pending_;
+  if (config_.faults.enabled) ensure_monitor();
   sim_.schedule_at(task.release, [this, task] {
     const std::size_t home = machine_.pgas().flat(task.home);
     const std::size_t target = route(task);
@@ -122,12 +142,14 @@ std::size_t RuntimeSystem::route(const Task& task) {
       return home;
     case DistributionPolicy::kCentralized: {
       // Every task consults the global dispatcher: request + response
-      // messages plus serialised dispatcher service.
+      // messages plus serialised dispatcher service. Workers the runtime
+      // has detected as dead are never placed on.
       monitor_messages_ += 2;
       dispatcher_.reserve(sim_.now(), config_.dispatcher_service);
       std::size_t best = home;
       for (std::size_t w = 0; w < total; ++w) {
-        if (depth(w) < depth(best)) best = w;
+        if (workers_[w].known_down) continue;
+        if (workers_[best].known_down || depth(w) < depth(best)) best = w;
       }
       return best;
     }
@@ -136,7 +158,8 @@ std::size_t RuntimeSystem::route(const Task& task) {
       monitor_messages_ += 2 * (total - 1);
       std::size_t best = home;
       for (std::size_t w = 0; w < total; ++w) {
-        if (depth(w) < depth(best)) best = w;
+        if (workers_[w].known_down) continue;
+        if (workers_[best].known_down || depth(w) < depth(best)) best = w;
       }
       return best;
     }
@@ -161,6 +184,14 @@ std::size_t RuntimeSystem::spill_target(std::size_t worker, const Task& task,
 }
 
 void RuntimeSystem::arrive(std::size_t worker, Task task, int spill_hops) {
+  // A worker the runtime has detected as dead takes no new arrivals:
+  // redirect to the least-loaded believed-alive worker. (Crashes the
+  // monitor has not yet detected still receive tasks — that is the
+  // detection latency the recovery machinery exists to absorb.)
+  if (workers_[worker].known_down) {
+    const std::size_t target = survivor_for(worker);
+    if (target != worker) worker = target;
+  }
   // Lazy scheduling: the only status consulted is this worker's own queue.
   // A deep queue diffuses the task onward (bounded cascade), first to a
   // node neighbour, then across the node boundary.
@@ -346,6 +377,12 @@ void RuntimeSystem::dispatch(std::size_t worker) {
           rng_.exponential(1e12 / config_.failures_per_second));
       ++failures_;
       ++reexecutions_;
+      // The crashed attempt ran [now, fail_at) of a [now, finish) job: its
+      // resources are consumed in proportion — real lost work, no longer
+      // silently dropped.
+      wasted_energy_ += result.energy *
+                        (static_cast<double>(fail_at - now) /
+                         static_cast<double>(finish - now));
       ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().fail,
                         worker_lane(worker, per_node), fail_at, task.id);
       sim_.schedule_at(fail_at + config_.repair_time,
@@ -359,16 +396,28 @@ void RuntimeSystem::dispatch(std::size_t worker) {
     }
   }
 
-  sim_.schedule_at(finish, [this, worker, result] {
-    // Training part: feed the measured execution back into the models.
-    const Task* task = nullptr;  // features captured in result via recompute
-    (void)task;
+  // Live fault path: remember the attempt so a crash can price and
+  // re-queue it, and tag the completion with an epoch — a crash bumps the
+  // epoch, turning the (uncancellable) completion event into a no-op.
+  const std::uint64_t epoch = ++state.epoch;
+  if (config_.faults.enabled) {
+    state.in_flight = true;
+    state.current = task;
+    state.exec_start = now;
+    state.exec_finish = finish;
+    state.exec_energy = result.energy;
+  }
+
+  sim_.schedule_at(finish, [this, worker, result, epoch] {
+    WorkerState& st = workers_[worker];
+    if (st.epoch != epoch) return;  // attempt destroyed by a crash
     ECO_TRACE_END(obs::Cat::kRuntime, task_trace_names().exec,
                   worker_lane(worker, machine_.workers_per_node()),
                   sim_.now());
+    st.in_flight = false;
     results_.push_back(result);
     --pending_;
-    workers_[worker].busy = false;
+    st.busy = false;
     dispatch(worker);
   });
 
@@ -382,6 +431,147 @@ void RuntimeSystem::dispatch(std::size_t worker) {
   record.time_ns = to_nanoseconds(finish - now);
   record.energy_pj = result.energy;
   predictor_.observe(record);
+}
+
+// --- live fault path --------------------------------------------------------
+
+void RuntimeSystem::on_worker_down(std::size_t worker, SimTime at) {
+  WorkerState& state = workers_[worker];
+  state.busy = true;   // nothing dispatches while the worker is down
+  ++state.epoch;       // orphan any scheduled completion of this worker
+  state.pending_detect = true;
+  state.crash_at = at;
+  if (state.in_flight) {
+    // The running attempt dies with the worker. Its consumed resources are
+    // real: charge partial progress in proportion to elapsed runtime. The
+    // victim task stays parked in `current` (in_flight marks it) until the
+    // heartbeat monitor detects the crash — or repair beats detection.
+    const SimDuration ran = at - state.exec_start;
+    const SimDuration full = state.exec_finish - state.exec_start;
+    if (full > 0) {
+      wasted_energy_ += state.exec_energy *
+                        (static_cast<double>(ran) / static_cast<double>(full));
+    }
+    ++failures_;
+    ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().fail,
+                      worker_lane(worker, machine_.workers_per_node()), at,
+                      state.current.id);
+  }
+}
+
+void RuntimeSystem::on_worker_up(std::size_t worker, SimTime at) {
+  WorkerState& state = workers_[worker];
+  state.busy = false;
+  state.known_down = false;
+  if (state.pending_detect) {
+    // Repaired before the monitor ever noticed: the crash stays invisible
+    // to the rest of the machine and the victim re-executes locally.
+    state.pending_detect = false;
+    if (state.in_flight) {
+      state.in_flight = false;
+      ++reexecutions_;
+      Task victim = std::move(state.current);
+      ECO_TRACE_INSTANT(obs::Cat::kFailover, task_trace_names().failover,
+                        worker_lane(worker, machine_.workers_per_node()), at,
+                        victim.id);
+      arrive(worker, std::move(victim), /*spill_hops=*/1000);
+      return;  // arrive() already dispatched
+    }
+  }
+  dispatch(worker);
+}
+
+void RuntimeSystem::ensure_monitor() {
+  if (monitor_running_) return;
+  monitor_running_ = true;
+  sim_.schedule_at(sim_.now() + config_.faults.heartbeat_period,
+                   [this] { monitor_tick(); });
+}
+
+void RuntimeSystem::monitor_tick() {
+  if (pending_ == 0) {
+    // Workload drained: stop ticking so the event queue can empty. A later
+    // submit() re-arms via ensure_monitor().
+    monitor_running_ = false;
+    return;
+  }
+  const SimTime now = sim_.now();
+  monitor_messages_ += machine_.worker_count();  // one heartbeat probe each
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& state = workers_[w];
+    if (!state.pending_detect ||
+        now < state.crash_at + config_.faults.detect_timeout) {
+      continue;
+    }
+    if (machine_.health().up(w)) continue;  // repair wins (same-tick race)
+    // Declared dead: this is the moment the *runtime* learns of the crash.
+    state.pending_detect = false;
+    state.known_down = true;
+    ++detections_;
+    ECO_TRACE_INSTANT(obs::Cat::kDetect, task_trace_names().detect,
+                      worker_lane(w, machine_.workers_per_node()), now,
+                      static_cast<std::uint32_t>(w));
+    // Re-execute the killed in-flight attempt on a survivor. The record
+    // keeps the full causal chain (crash -> detection -> re-queue) so
+    // tests can assert no re-execution starts before its detection point.
+    // When the runtime believes *nobody* survives (every worker down at
+    // once), work stays parked on this worker's own queue — repair will
+    // re-dispatch it; shipping it to another dead worker would just
+    // bounce it back here forever.
+    if (state.in_flight) {
+      state.in_flight = false;
+      Task victim = std::move(state.current);
+      const std::size_t target = survivor_for(w);
+      ++reexecutions_;
+      if (target == w) {
+        state.queue.push_front(std::move(victim));
+      } else {
+        ++task_failovers_;
+        recovery_log_.push_back(
+            RecoveryRecord{victim.id, w, target, state.crash_at, now});
+        ECO_TRACE_INSTANT(obs::Cat::kFailover, task_trace_names().failover,
+                          worker_lane(target, machine_.workers_per_node()),
+                          now, victim.id);
+        arrive(target, std::move(victim), /*spill_hops=*/1000);
+      }
+    }
+  }
+  // Tasks still queued (never started) on any believed-dead worker spill
+  // to survivors. This runs every tick, not just at detection: work can
+  // strand when detection found no survivor, and must move out as soon as
+  // the runtime believes somebody is alive again.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& state = workers_[w];
+    if (!state.known_down) continue;
+    while (!state.queue.empty()) {
+      const std::size_t target = survivor_for(w);
+      if (target == w) break;  // no believed-alive survivor: wait for repair
+      Task task = std::move(state.queue.front());
+      state.queue.pop_front();
+      ++task_failovers_;
+      ECO_TRACE_INSTANT(obs::Cat::kFailover, task_trace_names().failover,
+                        worker_lane(target, machine_.workers_per_node()), now,
+                        task.id);
+      arrive(target, std::move(task), /*spill_hops=*/1000);
+    }
+  }
+  sim_.schedule_at(now + config_.faults.heartbeat_period,
+                   [this] { monitor_tick(); });
+}
+
+std::size_t RuntimeSystem::survivor_for(std::size_t avoid) const {
+  std::size_t best = avoid;
+  std::size_t best_depth = ~std::size_t{0};
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (w == avoid || workers_[w].known_down) continue;
+    const std::size_t d =
+        workers_[w].queue.size() + (workers_[w].busy ? 1 : 0);
+    if (d < best_depth) {
+      best_depth = d;
+      best = w;
+    }
+  }
+  return best;
 }
 
 void RuntimeSystem::run() {
@@ -413,6 +603,9 @@ RuntimeStats RuntimeSystem::stats() const {
   s.monitor_messages = monitor_messages_;
   s.worker_failures = failures_;
   s.reexecutions = reexecutions_;
+  s.wasted_energy = wasted_energy_;
+  s.detections = detections_;
+  s.task_failovers = task_failovers_;
   return s;
 }
 

@@ -29,6 +29,7 @@
 #include "common/stats.h"
 #include "model/predictor.h"
 #include "runtime/daemon.h"
+#include "runtime/fault.h"
 #include "runtime/machine.h"
 #include "runtime/task.h"
 #include "sim/simulator.h"
@@ -68,9 +69,14 @@ struct RuntimeConfig {
   /// Worker failure injection (abstract's resilience claim): Poisson
   /// crashes per worker; a crash loses the running task's progress and
   /// takes the worker down for repair_time, after which the task
-  /// re-executes from scratch. 0 disables.
+  /// re-executes from scratch. 0 disables. This legacy analytic-style
+  /// path is mutually exclusive with `faults.enabled` below.
   double failures_per_second = 0.0;
   SimDuration repair_time = milliseconds(2);
+  /// Live fault injection through the simulator (FaultInjector): worker
+  /// crashes, node losses, link degradation and fabric SEUs, detected by
+  /// a heartbeat monitor and recovered via re-execution on survivors.
+  FaultConfig faults;
   std::uint64_t seed = 42;
 };
 
@@ -84,6 +90,13 @@ struct RuntimeStats {
   std::uint64_t monitor_messages = 0;  // distribution-policy overhead
   std::uint64_t worker_failures = 0;   // crashes that hit running tasks
   std::uint64_t reexecutions = 0;
+  /// Energy burnt by attempts a crash destroyed: partial progress up to
+  /// the failure instant, charged in proportion to elapsed runtime.
+  Picojoules wasted_energy = 0.0;
+  /// Heartbeat-monitor detections of down workers (live fault path).
+  std::uint64_t detections = 0;
+  /// Tasks moved off a detected-dead worker to a survivor.
+  std::uint64_t task_failovers = 0;
   Samples queue_wait_ns;
   Samples turnaround_ns;
 };
@@ -112,10 +125,44 @@ class RuntimeSystem {
     return daemons_.empty() ? nullptr : daemons_[worker].get();
   }
 
+  /// Live fault injector (nullptr unless config.faults.enabled).
+  FaultInjector* faults() { return injector_.get(); }
+
+  /// One recovered in-flight task: when its worker crashed, when the
+  /// heartbeat monitor declared the worker dead, and where the task was
+  /// re-queued. Tests pin the detection-latency causality on this.
+  struct RecoveryRecord {
+    TaskId task = 0;
+    std::size_t worker = 0;
+    std::size_t requeued_to = 0;
+    SimTime crash_at = 0;
+    SimTime detected_at = 0;
+  };
+  const std::vector<RecoveryRecord>& recovery_log() const {
+    return recovery_log_;
+  }
+
  private:
   struct WorkerState {
     std::deque<Task> queue;
     bool busy = false;
+    /// Bumped at every dispatch and every crash: a completion event whose
+    /// epoch is stale belongs to an attempt the crash destroyed (the
+    /// simulator has no event cancellation).
+    std::uint64_t epoch = 0;
+    /// Attempt currently executing (live fault path bookkeeping).
+    bool in_flight = false;
+    Task current{};
+    SimTime exec_start = 0;
+    SimTime exec_finish = 0;
+    Picojoules exec_energy = 0.0;
+    /// The *runtime's* view of liveness: set only once the heartbeat
+    /// monitor detects the crash (detect_timeout after the fact), cleared
+    /// on repair. HealthRegistry knows sooner; the scheduler must not.
+    bool known_down = false;
+    /// Crash awaiting detection (valid while pending_detect).
+    bool pending_detect = false;
+    SimTime crash_at = 0;
   };
 
   void arrive(std::size_t worker, Task task, int spill_hops);
@@ -127,6 +174,18 @@ class RuntimeSystem {
   /// Choose the queue a task should land in; returns flat worker index and
   /// charges any monitoring/forwarding costs.
   std::size_t route(const Task& task);
+  // --- live fault path ---------------------------------------------------
+  /// FaultInjector callbacks (fire at crash/repair sim time).
+  void on_worker_down(std::size_t worker, SimTime at);
+  void on_worker_up(std::size_t worker, SimTime at);
+  /// Heartbeat monitor: periodic tick that detects silent workers once
+  /// they have been down for detect_timeout, then drains their work onto
+  /// survivors. Started lazily by submit(), stops when nothing is pending.
+  void ensure_monitor();
+  void monitor_tick();
+  /// Least-loaded worker the runtime believes is alive, excluding
+  /// `avoid`; falls back to `avoid` if it believes nobody else is.
+  std::size_t survivor_for(std::size_t avoid) const;
   /// Choose SW / local HW / shared HW for a dispatched task.
   DeviceClass place(const Task& task, std::size_t worker);
   /// Pick the largest registered variant that can fit the worker's fabric.
@@ -145,6 +204,12 @@ class RuntimeSystem {
   std::vector<SimTime> next_failure_;  // failure injection, if enabled
   std::uint64_t failures_ = 0;
   std::uint64_t reexecutions_ = 0;
+  std::unique_ptr<FaultInjector> injector_;  // if config.faults.enabled
+  bool monitor_running_ = false;
+  Picojoules wasted_energy_ = 0.0;
+  std::uint64_t detections_ = 0;
+  std::uint64_t task_failovers_ = 0;
+  std::vector<RecoveryRecord> recovery_log_;
   Timeline dispatcher_{"dispatcher"};  // centralized mode serialisation
   CostPredictor predictor_;
   std::vector<TaskResult> results_;

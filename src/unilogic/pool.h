@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "common/energy.h"
+#include "common/health.h"
 #include "common/units.h"
 #include "interconnect/network.h"
 #include "worker/worker.h"
@@ -66,6 +67,20 @@ class UnilogicPool {
   std::size_t size() const { return workers_.size(); }
   Worker& worker(std::size_t i) { return *workers_[i]; }
 
+  // --- fault handling ------------------------------------------------------
+  /// Attach the machine's liveness registry. The pool never *reads*
+  /// liveness directly (a doorbell cannot know its target is dead): a
+  /// remote attempt against a down fabric times out unanswered, the
+  /// fabric is blacklisted, and later placement skips the blacklist.
+  void set_health(HealthRegistry* health) { health_ = health; }
+  /// Remote attempts that failed (dead fabric or module would not fit)
+  /// before the call either succeeded elsewhere or fell back locally.
+  std::uint64_t failed_remote_attempts() const {
+    return failed_remote_attempts_;
+  }
+  /// Calls that degraded to a caller-local attempt after remote failures.
+  std::uint64_t local_fallbacks() const { return local_fallbacks_; }
+
  private:
   /// Estimated time the kernel could start on worker `w` (loaded module's
   /// pipeline availability, or now + reconfiguration estimate).
@@ -78,6 +93,13 @@ class UnilogicPool {
   std::uint64_t remote_invocations_ = 0;
   std::uint64_t local_invocations_ = 0;
   EnergyMeter energy_;
+
+  HealthRegistry* health_ = nullptr;
+  std::size_t max_remote_attempts_ = 2;        // candidates tried per call
+  SimDuration dead_fabric_timeout_ = microseconds(20);
+  SimDuration blacklist_for_ = milliseconds(1);
+  std::uint64_t failed_remote_attempts_ = 0;
+  std::uint64_t local_fallbacks_ = 0;
 };
 
 }  // namespace ecoscale

@@ -24,6 +24,8 @@ struct PgasCounters {
   CounterId atomic_remote = CounterRegistry::intern("pgas.atomic.remote");
   CounterId page_migration = CounterRegistry::intern("pgas.page_migration");
   CounterId task_migration = CounterRegistry::intern("pgas.task_migration");
+  CounterId retry = CounterRegistry::intern("pgas.retry");
+  CounterId failover = CounterRegistry::intern("pgas.failover");
 };
 
 const PgasCounters& counters() {
@@ -144,12 +146,74 @@ void PgasSystem::read_bytes(GlobalAddress addr,
   }
 }
 
+SimTime PgasSystem::fail_over_dead_owner(WorkerCoord who, PageId page,
+                                         SimTime now) {
+  const NodeId dead = owner_of(page);
+  // Bounded retries with linear backoff: each attempt waits out a timeout
+  // against the unresponsive owner. A repair racing the retries wins —
+  // the access then proceeds against the original owner, no failover.
+  for (std::size_t attempt = 0; attempt < config_.fault_max_retries;
+       ++attempt) {
+    const SimTime deadline = now + config_.fault_retry_timeout +
+                             attempt * config_.fault_retry_backoff;
+    ECO_TRACE_SPAN(obs::Cat::kRetry, counters().retry,
+                   (obs::Lane{who.node, who.worker}), now, deadline,
+                   static_cast<std::uint32_t>(attempt + 1));
+    ++remote_retries_;
+    now = deadline;
+    if (health_->node_up(dead)) return now;
+  }
+  // Retries exhausted: re-home the page at the requester's node (or the
+  // lowest surviving node if the requester's own node is gone). The data
+  // is rebuilt from the lowest surviving node's replica: one DRAM read
+  // there, a page DMA if the replica is elsewhere, one DRAM write at the
+  // new home. The functional copy in store_ is global, so correctness is
+  // unaffected — this models the *cost* of replica recovery.
+  NodeId target = who.node;
+  NodeId replica = dead;
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    if (health_->node_up(n)) {
+      replica = static_cast<NodeId>(n);
+      break;
+    }
+  }
+  ECO_CHECK_MSG(replica != dead, "no surviving node for page failover");
+  if (!health_->node_up(target)) target = replica;
+  const SimTime start = now;
+  const WorkerCoord rep_w{replica, 0};
+  const WorkerCoord dst_w{target, 0};
+  const auto rd = dram(rep_w).access(now, kPageSize);
+  SimTime t = rd.finish;
+  Picojoules e = rd.energy;
+  if (replica != target) {
+    Packet p{PacketType::kDma, rep_w, dst_w, kPageSize};
+    const auto tr = network_->send(flat(rep_w), flat(dst_w), p, t);
+    t = tr.arrival;
+    e += tr.energy;
+  }
+  const auto wr = dram(dst_w).access(t, kPageSize);
+  t = wr.finish;
+  e += wr.energy;
+  directory_.migrate(page, target);
+  cached_page_ = ~0ull;  // memo may hold the dead owner
+  ++page_failovers_;
+  energy_.charge(counters().failover, e);
+  ECO_TRACE_SPAN(obs::Cat::kFailover, counters().failover,
+                 (obs::Lane{target, 0}), start, t,
+                 static_cast<std::uint32_t>(page));
+  return t;
+}
+
 MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
                              bool write, bool bulk, SimTime now) {
   ECO_CHECK(who.node < config_.nodes &&
             who.worker < config_.workers_per_node);
   const PageId page = page_of(addr);
-  const NodeId owner = owner_of(page);
+  NodeId owner = owner_of(page);
+  if (health_ != nullptr && owner != who.node && !health_->node_up(owner)) {
+    now = fail_over_dead_owner(who, page, now);
+    owner = owner_of(page);  // failover may have re-homed the page
+  }
   MemAccess result;
   const WorkerCoord home = addr.home();
   // Trace spans start at issue time, before translation advances `now`.
@@ -284,7 +348,11 @@ AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
                                     AtomicOp op, std::uint64_t operand,
                                     SimTime now, std::uint64_t compare) {
   const PageId page = page_of(addr);
-  const NodeId owner = owner_of(page);
+  NodeId owner = owner_of(page);
+  if (health_ != nullptr && owner != who.node && !health_->node_up(owner)) {
+    now = fail_over_dead_owner(who, page, now);
+    owner = owner_of(page);
+  }
   ECO_CHECK_MSG((addr.offset() & 7) == 0, "atomic must be 8-byte aligned");
 
   // Functional part: exact RMW against the backing store.

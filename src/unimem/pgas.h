@@ -27,6 +27,7 @@
 #include "address/ownership.h"
 #include "address/progressive.h"
 #include "common/energy.h"
+#include "common/health.h"
 #include "common/units.h"
 #include "interconnect/network.h"
 #include "memory/cache.h"
@@ -68,6 +69,13 @@ struct PgasConfig {
   SimDuration global_order_occupancy = nanoseconds(20);
   /// Closure size for task migration (descriptor + captured args).
   Bytes task_closure_bytes = 256;
+  /// Fault handling of accesses whose owning node is down (needs a
+  /// HealthRegistry via set_health): each attempt times out, attempts
+  /// back off linearly, and after the last one the page fails over to a
+  /// surviving node.
+  std::size_t fault_max_retries = 3;
+  SimDuration fault_retry_timeout = microseconds(50);
+  SimDuration fault_retry_backoff = microseconds(25);
   /// Progressive address translation (Katevenis [12]): per-level lookup
   /// latencies paid by each access as it climbs the hierarchy. Charged on
   /// the request path (local: level 0; intra-node: +level 1; cross-node:
@@ -185,6 +193,15 @@ class PgasSystem {
   std::uint64_t local_accesses() const { return local_accesses_; }
   const EnergyMeter& energy() const { return energy_; }
 
+  // --- fault handling ------------------------------------------------------
+  /// Attach the machine's liveness registry. Unset (the default) disables
+  /// the dead-owner path entirely: no per-access overhead, no failover.
+  void set_health(const HealthRegistry* health) { health_ = health; }
+  /// Timed-out attempts against dead owning nodes.
+  std::uint64_t remote_retries() const { return remote_retries_; }
+  /// Pages re-homed to a surviving node after retry exhaustion.
+  std::uint64_t page_failovers() const { return page_failovers_; }
+
   std::size_t flat(WorkerCoord w) const {
     return static_cast<std::size_t>(w.node) * config_.workers_per_node +
            w.worker;
@@ -199,6 +216,12 @@ class PgasSystem {
   MemAccess access(WorkerCoord who, GlobalAddress addr, Bytes size,
                    bool write, bool bulk, SimTime now);
   std::vector<std::uint8_t>& page_data(PageId page);
+
+  /// Dead-owner recovery: bounded timed-out retries against `page`'s
+  /// (down) owning node, then ownership failover to a surviving node.
+  /// Returns the time the access may proceed; the page's owner may have
+  /// changed, so callers must re-resolve it.
+  SimTime fail_over_dead_owner(WorkerCoord who, PageId page, SimTime now);
 
   /// Owner of `page` with a one-entry memo in front of the directory —
   /// access streams revisit the same page line after line, so the common
@@ -223,6 +246,9 @@ class PgasSystem {
   std::vector<std::uint64_t> alloc_cursor_;  // per worker, byte offset
   std::uint64_t remote_accesses_ = 0;
   std::uint64_t local_accesses_ = 0;
+  const HealthRegistry* health_ = nullptr;
+  std::uint64_t remote_retries_ = 0;
+  std::uint64_t page_failovers_ = 0;
   std::unique_ptr<ProgressiveTranslator> translator_;
   Timeline global_order_{"snoop_order"};  // global-scope baseline only
   EnergyMeter energy_;
