@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "sim/inline_action.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "sim/timeline.h"
 
@@ -110,6 +111,105 @@ ScheduleStepResult backlog_throughput(std::uint64_t total_events) {
   r.events = sim.events_processed();
   r.events_per_sec = static_cast<double>(r.events) / wall;
   r.pool_spills = after.pool_misses - before.pool_misses;
+  return r;
+}
+
+// --- sharded parallel engine --------------------------------------------
+
+/// Per-shard FNV-1a accumulator (same recipe as the determinism tests).
+/// Each shard's actions only ever touch their own shard's slot, and posted
+/// actions run on the destination shard, so the array needs no locks.
+struct ShardHash {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+struct ShardedMeshResult {
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t hash = 0;     // combined per-shard hashes + engine counters
+  std::size_t threads = 0;    // threads the window loop actually used
+  double wall_s = 0.0;
+};
+
+/// Cross-posting actor mesh on the ShardedSimulator: per-shard
+/// self-rescheduling actors where one fire in four also posts an event to
+/// another shard at now + lookahead + jitter. Exercises window turnover,
+/// the canonical mailbox merge and the post() latency contract — the
+/// engine-level analogue of the multi-node runtime workloads.
+ShardedMeshResult sharded_mesh(std::size_t shards, std::size_t threads,
+                               std::size_t actors_per_shard,
+                               std::uint64_t fires_per_actor) {
+  ShardedConfig sc;
+  sc.shards = shards;
+  sc.lookahead = 200;
+  sc.threads = threads;
+  sc.mailbox_capacity = 256;
+  ShardedSimulator engine(sc);
+  std::vector<ShardHash> hashes(shards);
+
+  struct Actor {
+    ShardedSimulator* engine;
+    ShardHash* hashes;
+    std::size_t shard;
+    std::size_t shards;
+    std::uint64_t id;
+    std::uint64_t left;
+    SimDuration period;
+    void fire() {
+      hashes[shard].mix(engine->shard(shard).now() ^ (id * 0x9e3779b9u));
+      if (left == 0) return;
+      --left;
+      const std::uint64_t token = (id << 32) ^ left;
+      if (shards > 1 && token % 4 == 0) {
+        const std::size_t dst =
+            (shard + 1 + token % (shards - 1)) % shards;
+        const SimTime at = engine->shard(shard).now() +
+                           engine->lookahead() + token % 64;
+        ShardHash* hs = hashes;
+        engine->post(shard, dst, at, [hs, dst, token] {
+          hs[dst].mix(token);
+        });
+      }
+      Actor* self = this;
+      engine->shard(shard).schedule_after(period, [self] { self->fire(); });
+    }
+  };
+
+  std::vector<Actor> actors;
+  actors.reserve(shards * actors_per_shard);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t a = 0; a < actors_per_shard; ++a) {
+      actors.push_back(Actor{&engine, hashes.data(), s, shards,
+                             s * actors_per_shard + a, fires_per_actor,
+                             static_cast<SimDuration>(11 + 7 * a)});
+    }
+  }
+  for (auto& a : actors) {
+    Actor* self = &a;
+    engine.shard(a.shard).schedule_at(1 + a.id % 8, [self] { self->fire(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  ShardedMeshResult r;
+  r.wall_s = seconds_since(t0);
+  r.events = engine.events_processed();
+  r.windows = engine.windows();
+  r.messages = engine.messages();
+  r.threads = engine.threads_used();
+  ShardHash combined;
+  for (const auto& h : hashes) combined.mix(h.h);
+  combined.mix(r.events);
+  combined.mix(r.windows);
+  combined.mix(r.messages);
+  r.hash = combined.h;
   return r;
 }
 
@@ -201,6 +301,39 @@ int main(int argc, char** argv) {
       "the calendar's live-interval set bounded; release() additionally\n"
       "prunes the retired past:");
 
+  // --- sharded parallel engine scaling ------------------------------------
+  // 8 shards of cross-posting actors, run sequentially and at the
+  // requested --sim-threads; identical combined hashes demonstrate the
+  // deterministic merge, the events/sec column the window-loop scaling.
+  constexpr std::size_t kShards = 8;
+  constexpr std::size_t kActorsPerShard = 16;
+  constexpr std::uint64_t kFires = 1500;
+  sharded_mesh(kShards, 1, kActorsPerShard, kFires / 8);  // warm-up
+  const auto seq = sharded_mesh(kShards, 1, kActorsPerShard, kFires);
+  const auto par =
+      sharded_mesh(kShards, bench::sim_threads(), kActorsPerShard, kFires);
+  const double seq_eps = static_cast<double>(seq.events) / seq.wall_s;
+  const double par_eps = static_cast<double>(par.events) / par.wall_s;
+  const bool hashes_match = seq.hash == par.hash;
+  Table sharded({"sim threads", "events", "windows", "messages",
+                 "events/sec", "speedup", "hash"});
+  sharded.add_row({"1", fmt_u64(seq.events), fmt_u64(seq.windows),
+                   fmt_u64(seq.messages), fmt_sci(seq_eps, 3), "1.00x",
+                   fmt_u64(seq.hash)});
+  sharded.add_row({fmt_u64(par.threads), fmt_u64(par.events),
+                   fmt_u64(par.windows), fmt_u64(par.messages),
+                   fmt_sci(par_eps, 3), fmt_ratio(par_eps / seq_eps),
+                   fmt_u64(par.hash)});
+  bench::print_table(
+      sharded,
+      "sharded engine, 8 shards x 16 cross-posting actors (--sim-threads\n"
+      "selects the parallel row; hashes must match — the merge order is\n"
+      "canonical, so thread count never changes results):");
+  if (!hashes_match) {
+    std::cerr << "FATAL: sharded engine hash mismatch across thread counts\n";
+    return 1;
+  }
+
   // --- machine-readable summary ------------------------------------------
   std::cout << "SIMCORE_JSON {"
             << "\"ring_events_per_sec\": " << ring.events_per_sec
@@ -211,6 +344,11 @@ int main(int argc, char** argv) {
             << ", \"calendar_oversubscribed_release_reserves_per_sec\": "
             << rel_rps
             << ", \"calendar_peak_live_intervals\": "
-            << cal_rel.peak_live_intervals() << "}\n";
+            << cal_rel.peak_live_intervals()
+            << ", \"sharded_events_per_sec_1t\": " << seq_eps
+            << ", \"sharded_events_per_sec_nt\": " << par_eps
+            << ", \"sharded_threads\": " << par.threads
+            << ", \"sharded_hash_match\": " << (hashes_match ? 1 : 0)
+            << "}\n";
   return 0;
 }

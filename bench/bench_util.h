@@ -39,6 +39,7 @@ namespace ecoscale::bench {
 struct Options {
   std::string json_path;         // empty: no JSON dump
   std::size_t threads = 0;       // 0: pick from env / hardware
+  std::size_t sim_threads = 1;   // sharded-engine threads (0: hardware)
   std::string trace_path;        // empty: tracing off
   std::string trace_categories;  // empty/"all": every category
 };
@@ -153,6 +154,9 @@ inline void init(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       options().threads =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--sim-threads" && i + 1 < argc) {
+      options().sim_threads =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--trace" && i + 1 < argc) {
       options().trace_path = argv[++i];
     } else if (arg == "--trace-categories" && i + 1 < argc) {
@@ -187,6 +191,19 @@ inline void print_table(const Table& table, const std::string& caption = "") {
 }
 
 // --- parallel sweep runner --------------------------------------------------
+
+/// Thread count for the sharded parallel simulation engine
+/// (ShardedSimulator / ShardedRuntime): --sim-threads flag, else
+/// ECOSCALE_SIM_THREADS, else 1 (0 means hardware concurrency). Unlike
+/// sweep_threads() this defaults to sequential — the engine's results are
+/// thread-count-invariant, so perf runs opt in explicitly.
+inline std::size_t sim_threads() {
+  if (const char* env = std::getenv("ECOSCALE_SIM_THREADS")) {
+    const auto n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return options().sim_threads;
+}
 
 /// Worker count for parallel_sweep: --threads flag, else
 /// ECOSCALE_BENCH_THREADS, else the hardware concurrency.

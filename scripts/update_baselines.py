@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate the bench baseline dumps that CI gates against.
+
+Runs the named benches (default: the gated set) with `--json`, then turns
+the fresh dump into a *baseline*: deterministic columns (event counts,
+windows, messages, hashes, live intervals) are kept exactly — CI hardware
+cannot change them — while hardware-dependent columns are derated into
+floors/ceilings so the gate only trips on structural collapses, not on
+runner-vs-runner variance:
+
+  * throughput columns ("/sec", "per_sec"): multiplied by 0.5 (a floor —
+    CI fails only if it drops more than --fail-above below half the
+    reference machine's throughput)
+  * latency columns ("ns/op"): multiplied by 2.0 (a ceiling)
+
+Re-run this script (and commit bench/baselines/) whenever bench workloads
+or engine behavior change intentionally:
+
+    cmake --build build --target bench_simcore bench_mempath
+    python3 scripts/update_baselines.py --build-dir build
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+GATED_BENCHES = ["bench_simcore", "bench_mempath"]
+# Matches the CI bench-smoke invocation so sharded-engine tables have the
+# same row keys (the "sim threads" column) in baseline and fresh runs.
+BENCH_ARGS = ["--sim-threads", "4"]
+
+THROUGHPUT_DERATE = 0.5
+LATENCY_INFLATE = 2.0
+
+
+def derate(doc):
+    for table in doc.get("tables", []):
+        headers = table.get("headers", [])
+        for row in table.get("rows", []):
+            for i, name in enumerate(headers):
+                if i == 0 or i >= len(row):
+                    continue
+                try:
+                    v = float(row[i])
+                except (TypeError, ValueError):
+                    continue
+                if "/sec" in name or "per_sec" in name:
+                    row[i] = f"{v * THROUGHPUT_DERATE:.6g}"
+                elif "ns/op" in name:
+                    row[i] = f"{v * LATENCY_INFLATE:.6g}"
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("benches", nargs="*", default=GATED_BENCHES)
+    args = ap.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    out_dir = repo / "bench" / "baselines"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in args.benches:
+        bench = repo / args.build_dir / "bench" / name
+        if not bench.exists():
+            sys.exit(f"error: {bench} not built")
+        with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+            subprocess.run(
+                [str(bench), "--json", tmp.name, *BENCH_ARGS],
+                check=True, stdout=subprocess.DEVNULL)
+            doc = json.loads(pathlib.Path(tmp.name).read_text())
+        baseline = out_dir / f"{name}.json"
+        baseline.write_text(json.dumps(derate(doc), indent=1) + "\n")
+        print(f"wrote {baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,6 +175,37 @@ int Network::hop_count(std::size_t src, std::size_t dst) {
   return static_cast<int>(route(src, dst).size());
 }
 
+SimDuration Network::route_latency(std::size_t src, std::size_t dst) {
+  ECO_CHECK(src < topo_.endpoint_count() && dst < topo_.endpoint_count());
+  SimDuration latency = 0;
+  for (const LinkId l : route(src, dst)) {
+    latency += params_for_level(topo_.link(l).level).hop_latency;
+  }
+  return latency;
+}
+
+SimDuration Network::min_cross_latency(int min_level) {
+  const auto memo = min_cross_cache_.find(min_level);
+  if (memo != min_cross_cache_.end()) return memo->second;
+  const std::size_t eps = topo_.endpoint_count();
+  SimDuration best = 0;
+  for (std::size_t src = 0; src < eps; ++src) {
+    for (std::size_t dst = 0; dst < eps; ++dst) {
+      if (src == dst) continue;
+      bool crosses = false;
+      SimDuration latency = 0;
+      for (const LinkId l : route(src, dst)) {
+        const TopoLink& link = topo_.link(l);
+        if (link.level >= min_level) crosses = true;
+        latency += params_for_level(link.level).hop_latency;
+      }
+      if (crosses && (best == 0 || latency < best)) best = latency;
+    }
+  }
+  min_cross_cache_.emplace(min_level, best);
+  return best;
+}
+
 int Network::diameter() {
   // One BFS per source endpoint with a hop-distance array: O(V + L) per
   // source instead of re-walking the parent chain for every destination

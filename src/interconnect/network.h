@@ -61,6 +61,23 @@ class Network {
   /// Hop count of the route between two endpoints.
   int hop_count(std::size_t src, std::size_t dst);
 
+  /// Pure head latency (sum of per-hop latencies, no serialization or
+  /// queueing) of the route between two endpoints. A lower bound on any
+  /// send() between the pair, whatever the congestion or degradation
+  /// state — degradation throttles bandwidth, never hop latency.
+  SimDuration route_latency(std::size_t src, std::size_t dst);
+
+  /// Minimum route_latency() over all endpoint pairs whose route traverses
+  /// at least one link of level >= `min_level` — i.e. the soonest any
+  /// message crossing that tier of the hierarchy can possibly arrive.
+  /// This is the conservative lookahead of the sharded parallel simulation
+  /// engine: shard per Compute Node, pass min_cross_latency(1), and no
+  /// cross-shard event can ever land inside a synchronization window.
+  /// Returns 0 if no route crosses `min_level` (single-partition topology);
+  /// cached per level, and as a side effect materializes every route, so
+  /// later route-table reads are safe from concurrent shard threads.
+  SimDuration min_cross_latency(int min_level = 0);
+
   /// Maximum hop count over all endpoint pairs (paper §2: tree depth adds
   /// one hop per level). Computed by BFS from every endpoint.
   int diameter();
@@ -135,6 +152,7 @@ class Network {
   std::vector<RouteRef> routes_;            // endpoint_count()^2
   std::vector<LinkId> path_arena_;          // shared storage for all routes
   std::vector<std::vector<std::uint32_t>> parent_cache_;  // BFS trees
+  std::map<int, SimDuration> min_cross_cache_;  // min_cross_latency memo
 };
 
 }  // namespace ecoscale

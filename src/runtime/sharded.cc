@@ -1,0 +1,103 @@
+#include "runtime/sharded.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "interconnect/topology.h"
+
+namespace ecoscale {
+
+ShardedRuntime::ShardedRuntime(ShardedRuntimeConfig config)
+    : config_(std::move(config)) {
+  ECO_CHECK_MSG(config_.nodes >= 1, "need at least one node");
+  const std::size_t n = config_.nodes;
+
+  // Node-level interconnect: every Compute Node is one endpoint behind a
+  // central switch, links carrying the machine's L1 (inter-node) tier
+  // parameters. Only route/latency queries are ever issued against it —
+  // the engine charges forwards its head latency; it never send()s, so it
+  // stays read-only during the parallel run.
+  NetworkConfig nc;
+  nc.level_params = {{0, config_.machine.pgas.l1_link}};
+  internode_ = std::make_unique<Network>(
+      make_crossbar(std::max<std::size_t>(n, 2)), nc);
+  latency_.assign(n * n, 0);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      latency_[from * n + to] = internode_->route_latency(from, to);
+    }
+  }
+
+  ShardedConfig sc;
+  sc.shards = n;
+  // min_cross_latency also materializes every route, so the latency
+  // queries above and any later reads are concurrency-safe.
+  sc.lookahead = std::max<SimDuration>(internode_->min_cross_latency(0), 1);
+  sc.threads = config_.threads;
+  sc.mailbox_capacity = config_.mailbox_capacity;
+  engine_ = std::make_unique<ShardedSimulator>(sc);
+
+  nodes_.reserve(n);
+  for (std::size_t node = 0; node < n; ++node) {
+    Node slot;
+    MachineConfig mc = config_.machine;
+    mc.nodes = 1;  // the shard is the node: its UNIMEM domain is private
+    mc.workers_per_node = config_.workers_per_node;
+    slot.machine = std::make_unique<Machine>(mc);
+    RuntimeConfig rc = config_.runtime;
+    rc.seed = config_.runtime.seed + node;  // decorrelate per-node streams
+    slot.runtime = std::make_unique<RuntimeSystem>(
+        *slot.machine, engine_->shard(node), rc);
+    nodes_.push_back(std::move(slot));
+  }
+}
+
+void ShardedRuntime::register_kernel(const KernelIR& kernel,
+                                     std::vector<AcceleratorModule> variants) {
+  for (auto& node : nodes_) {
+    node.runtime->register_kernel(kernel, variants);
+  }
+}
+
+void ShardedRuntime::submit(std::size_t node, const Task& task) {
+  ECO_CHECK(node < nodes_.size());
+  ECO_CHECK_MSG(task.home.node == 0,
+                "task.home is node-local; pick the node via `node`");
+  nodes_[node].runtime->submit(task);
+}
+
+void ShardedRuntime::post_task(std::size_t from, std::size_t to, Task task) {
+  ECO_CHECK(from < nodes_.size() && to < nodes_.size());
+  ECO_CHECK_MSG(task.home.node == 0,
+                "task.home is node-local on the destination");
+  const SimTime arrive =
+      engine_->shard(from).now() + inter_node_latency(from, to);
+  task.release = arrive;
+  RuntimeSystem* rt = nodes_[to].runtime.get();
+  engine_->post(from, to, arrive, [rt, task] { rt->submit(task); });
+}
+
+void ShardedRuntime::run() {
+  engine_->run();
+  // Each runtime's run() on a drained shard is a no-op that asserts no
+  // task is still pending — the "all submitted work retired" postcondition.
+  for (auto& node : nodes_) node.runtime->run();
+}
+
+ShardedRuntime::Stats ShardedRuntime::stats() const {
+  Stats s;
+  for (const auto& node : nodes_) {
+    const RuntimeStats rs = node.runtime->stats();
+    s.makespan = std::max(s.makespan, rs.makespan);
+    s.energy += node.machine->total_energy();
+    s.tasks += node.runtime->results().size();
+  }
+  s.cross_posts = engine_->messages();
+  s.events = engine_->events_processed();
+  s.windows = engine_->windows();
+  s.mailbox_spills = engine_->mailbox_spills();
+  return s;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,123 @@
+// Multi-node runtime on the sharded parallel simulation engine.
+//
+// ECOSCALE's hierarchy bounds communication distance (claim C1): Workers
+// inside a Compute Node interact at L0 latencies, while anything crossing
+// the node boundary pays at least one L1 traversal. ShardedRuntime turns
+// that bound into wall-clock parallelism for the *simulator*: every
+// Compute Node gets its own shard — a private Simulator, Machine
+// (single-node UNIMEM domain, UNILOGIC pool, workers) and RuntimeSystem —
+// and the shards advance concurrently inside conservative synchronization
+// windows (see sim/parallel.h). Node-local work (PGAS accesses, fabric
+// invocations, queue spills) never leaves its shard; the only cross-shard
+// interaction is an explicit task forward, which rides an SPSC mailbox and
+// is charged the inter-node interconnect's head latency — by construction
+// at least the engine's lookahead, so no shard ever receives an event in
+// its past.
+//
+// The inter-node latency matrix and the lookahead are derived from a
+// Network over the node-level topology (Network::min_cross_latency), not
+// hand-tuned constants: changing link parameters automatically tightens or
+// relaxes the window size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "runtime/machine.h"
+#include "runtime/scheduler.h"
+#include "sim/parallel.h"
+
+namespace ecoscale {
+
+struct ShardedRuntimeConfig {
+  /// Compute Nodes — one engine shard (and one Machine) each.
+  std::size_t nodes = 4;
+  std::size_t workers_per_node = 4;
+  /// Simulation threads (0 = hardware concurrency). Never changes results,
+  /// only wall-clock time: --sim-threads N is byte-identical to 1.
+  std::size_t threads = 1;
+  std::size_t mailbox_capacity = 1024;
+  /// Template for each node's machine; nodes is forced to 1 (the shard IS
+  /// the node) and workers_per_node to the field above. The PGAS l1 link
+  /// parameters double as the inter-node links of the forwarding network.
+  MachineConfig machine;
+  /// Per-node scheduler configuration; the seed is decorrelated per node.
+  RuntimeConfig runtime;
+};
+
+class ShardedRuntime {
+ public:
+  explicit ShardedRuntime(ShardedRuntimeConfig config);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Conservative lookahead the engine windows run with: the minimum
+  /// inter-node head latency of the node-level interconnect.
+  SimDuration lookahead() const { return engine_->lookahead(); }
+  /// Head latency of the inter-node route (what a forwarded task pays).
+  SimDuration inter_node_latency(std::size_t from, std::size_t to) const {
+    ECO_CHECK(from < nodes_.size() && to < nodes_.size());
+    return latency_[from * nodes_.size() + to];
+  }
+
+  Machine& machine(std::size_t node) { return *nodes_[node].machine; }
+  RuntimeSystem& runtime(std::size_t node) { return *nodes_[node].runtime; }
+  Simulator& shard(std::size_t node) { return engine_->shard(node); }
+  ShardedSimulator& engine() { return *engine_; }
+
+  /// Register a kernel (with its HLS variants) on every node's runtime.
+  void register_kernel(const KernelIR& kernel,
+                       std::vector<AcceleratorModule> variants);
+
+  /// Queue `task` on its home node. Call before run(), or from inside an
+  /// action already executing on that node's shard. task.home is a
+  /// node-local coordinate (node field must be 0).
+  void submit(std::size_t node, const Task& task);
+
+  /// Ship `task` from node `from` (whose shard must be executing the
+  /// calling action) to node `to`: it is released on the destination after
+  /// the inter-node head latency, routed through the (from, to) mailbox
+  /// and merged deterministically at the next window barrier.
+  void post_task(std::size_t from, std::size_t to, Task task);
+
+  /// Generic cross-node event, `extra_delay` after the inter-node latency.
+  template <typename F>
+  void post(std::size_t from, std::size_t to, SimDuration extra_delay,
+            F&& action) {
+    const SimTime at = engine_->shard(from).now() +
+                       inter_node_latency(from, to) + extra_delay;
+    engine_->post(from, to, at, std::forward<F>(action));
+  }
+
+  /// Run windows until every shard and mailbox drains; asserts every
+  /// node's runtime retired all submitted tasks.
+  void run();
+
+  struct Stats {
+    SimTime makespan = 0;          // max over node makespans
+    Picojoules energy = 0.0;       // machine energy, all nodes
+    std::uint64_t tasks = 0;       // task results across nodes
+    std::uint64_t cross_posts = 0; // mailbox messages (forwards + posts)
+    std::uint64_t events = 0;      // simulator events, all shards
+    std::uint64_t windows = 0;     // engine synchronization windows
+    std::uint64_t mailbox_spills = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<RuntimeSystem> runtime;
+  };
+
+  ShardedRuntimeConfig config_;
+  std::unique_ptr<Network> internode_;  // latency oracle, never send()s
+  std::vector<SimDuration> latency_;    // nodes x nodes head latencies
+  std::unique_ptr<ShardedSimulator> engine_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ecoscale

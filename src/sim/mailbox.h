@@ -1,0 +1,121 @@
+// Single-producer / single-consumer mailbox for cross-shard events.
+//
+// The sharded parallel engine gives every ordered shard pair (from, to) one
+// mailbox. During a synchronization window only the thread running shard
+// `from` pushes into it; messages are drained at the window barrier (by the
+// merge thread) and converted into ordinary events on the destination
+// shard's queue. The ring is a power-of-two array with acquire/release
+// head/tail indices — the classic wait-free SPSC queue — so a drain could
+// even overlap the producer's window without a data race, although the
+// engine only drains at barriers.
+//
+// Capacity is fixed after construction. A burst larger than the ring spills
+// into a producer-owned overflow vector: once a window overflows, every
+// later push of that window goes to the overflow too, so FIFO order is
+// preserved (ring first, then overflow — and the drain happens before the
+// producer can push again). Spills are counted; steady state should be
+// allocation-free with a well-sized ring.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/inline_action.h"
+
+namespace ecoscale {
+
+/// One cross-shard event in flight: deliver `action` on the destination
+/// shard at absolute sim time `time`. `seq` is the producer-side send
+/// counter of this mailbox — the third key of the canonical merge order
+/// (time, source shard, seq).
+struct ShardMessage {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  InlineAction action;
+};
+
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(std::size_t capacity = 1024) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  // The ring indices are atomics; moving a mailbox after threads saw it
+  // would be a bug, so mailboxes are built once and pinned.
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side. Assigns and returns the message's send sequence
+  /// number. Falls back to the overflow vector when the ring is full (or
+  /// once anything is already waiting there, to keep FIFO order).
+  template <typename F>
+  std::uint64_t push(SimTime time, F&& action) {
+    const std::uint64_t seq = next_seq_++;
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (!overflow_.empty() || tail - head > mask_) {
+      ++overflow_spills_;
+      overflow_.push_back(
+          ShardMessage{time, seq, InlineAction(std::forward<F>(action))});
+      return seq;
+    }
+    ShardMessage& slot = ring_[static_cast<std::size_t>(tail) & mask_];
+    slot.time = time;
+    slot.seq = seq;
+    slot.action.emplace(std::forward<F>(action));
+    tail_.store(tail + 1, std::memory_order_release);
+    return seq;
+  }
+
+  /// Consumer side: move every pending message into `out` (appended) in
+  /// send order. Called at window barriers; the producer is quiescent by
+  /// then, so the overflow vector is safe to steal as well.
+  void drain(std::vector<ShardMessage>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    while (head != tail) {
+      ShardMessage& slot = ring_[static_cast<std::size_t>(head) & mask_];
+      out.push_back(std::move(slot));
+      slot.action.reset();
+      ++head;
+    }
+    head_.store(head, std::memory_order_release);
+    if (!overflow_.empty()) {
+      for (ShardMessage& m : overflow_) out.push_back(std::move(m));
+      overflow_.clear();
+    }
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  /// Messages ever routed through this mailbox.
+  std::uint64_t total_messages() const { return next_seq_; }
+  /// Messages that missed the ring and took the overflow vector.
+  std::uint64_t overflow_spills() const { return overflow_spills_; }
+
+ private:
+  std::vector<ShardMessage> ring_;
+  std::size_t mask_ = 0;
+  // Producer-owned (no concurrent access by contract):
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t overflow_spills_ = 0;
+  std::vector<ShardMessage> overflow_;
+  // Shared SPSC cursors:
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer
+};
+
+}  // namespace ecoscale

@@ -1,0 +1,238 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace ecoscale {
+
+namespace {
+
+/// Interned names for the engine's own trace lanes (per-window span plus a
+/// drained-messages counter track).
+struct ParTraceNames {
+  CounterId window = CounterRegistry::intern("psim.window");
+  CounterId messages = CounterRegistry::intern("psim.messages");
+};
+[[maybe_unused]] const ParTraceNames& par_trace_names() {
+  static const ParTraceNames names;
+  return names;
+}
+
+/// Orchestrator lane: distinct tid under the simulation pid, away from the
+/// per-shard lanes (shard s traces on tid s + 1; plain Simulators on 0).
+constexpr std::uint16_t kEngineTid = 0xFFF0;
+
+/// Which shard (of which engine) the current thread is executing a window
+/// for; post() validates its `from` argument against this.
+struct RunContext {
+  const void* engine = nullptr;
+  std::size_t shard = 0;
+};
+thread_local RunContext tls_run_context;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(ShardedConfig config) : config_(config) {
+  ECO_CHECK_MSG(config_.shards >= 1, "need at least one shard");
+  ECO_CHECK_MSG(config_.lookahead >= 1,
+                "conservative lookahead must be positive");
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  threads_ = std::min(threads, config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Lane 0 stays the classic single-engine lane; shard s gets lane s+1.
+    shards_.back()->sim.set_trace_lane(static_cast<std::uint16_t>(s + 1));
+  }
+  mailboxes_.reserve(config_.shards * config_.shards);
+  for (std::size_t i = 0; i < config_.shards * config_.shards; ++i) {
+    mailboxes_.push_back(
+        std::make_unique<SpscMailbox>(config_.mailbox_capacity));
+  }
+}
+
+void ShardedSimulator::check_post_context(std::size_t from) const {
+  ECO_CHECK_MSG(tls_run_context.engine == this,
+                "post() called outside a running shard action");
+  ECO_CHECK_MSG(tls_run_context.shard == from,
+                "post() `from` must be the shard executing this action");
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  const std::size_t n = shards_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    merge_msgs_.clear();
+    merge_order_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      SpscMailbox& box = mailbox(src, dst);
+      const std::size_t before = merge_msgs_.size();
+      box.drain(merge_msgs_);
+      for (std::size_t i = before; i < merge_msgs_.size(); ++i) {
+        merge_order_.push_back(MergeItem{merge_msgs_[i].time,
+                                         static_cast<std::uint32_t>(src),
+                                         merge_msgs_[i].seq,
+                                         static_cast<std::uint32_t>(i)});
+      }
+    }
+    if (merge_order_.empty()) continue;
+    // Canonical merge order: (time, source shard, send sequence). The
+    // destination queue assigns its tie-breaking sequence numbers in this
+    // order, so execution is independent of thread count and of the order
+    // the producing shards happened to finish their windows.
+    std::sort(merge_order_.begin(), merge_order_.end(),
+              [](const MergeItem& a, const MergeItem& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    Simulator& sim = shards_[dst]->sim;
+    for (const MergeItem& item : merge_order_) {
+      sim.schedule_at(item.time, std::move(merge_msgs_[item.pos].action));
+    }
+  }
+}
+
+void ShardedSimulator::publish_window() {
+  rethrow_shard_error();
+  drain_mailboxes();
+  constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+  SimTime next = kNever;
+  for (const auto& s : shards_) {
+    if (!s->sim.idle()) next = std::min(next, s->sim.next_event_time());
+  }
+  if (next == kNever) {
+    done_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  const SimTime end = next + config_.lookahead;
+  ECO_TRACE_SPAN(obs::Cat::kSim, par_trace_names().window,
+                 (obs::Lane{obs::kSimPid, kEngineTid}), next, end,
+                 windows_);
+  window_end_.store(end, std::memory_order_relaxed);
+  ++windows_;
+}
+
+void ShardedSimulator::run_shard_window(std::size_t s, SimTime end) {
+  const RunContext saved = tls_run_context;
+  tls_run_context = RunContext{this, s};
+  try {
+    shards_[s]->sim.run_before(end);
+  } catch (...) {
+    shards_[s]->error = std::current_exception();
+  }
+  tls_run_context = saved;
+}
+
+void ShardedSimulator::rethrow_shard_error() {
+  for (auto& s : shards_) {
+    if (s->error) {
+      std::exception_ptr e = s->error;
+      s->error = nullptr;
+      done_.store(true, std::memory_order_relaxed);
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardedSimulator::run_sequential() {
+  for (;;) {
+    publish_window();
+    if (done_.load(std::memory_order_relaxed)) return;
+    const SimTime end = window_end_.load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      run_shard_window(s, end);
+    }
+  }
+}
+
+void ShardedSimulator::run_parallel() {
+  const std::size_t nthreads = threads_;
+  std::barrier<> gate(static_cast<std::ptrdiff_t>(nthreads));
+  auto stripe = [&](std::size_t tid) {
+    const SimTime end = window_end_.load(std::memory_order_relaxed);
+    for (std::size_t s = tid; s < shards_.size(); s += nthreads) {
+      run_shard_window(s, end);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (std::size_t t = 1; t < nthreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (;;) {
+        gate.arrive_and_wait();  // window published (or done)
+        if (done_.load(std::memory_order_relaxed)) return;
+        stripe(t);
+        gate.arrive_and_wait();  // window complete
+      }
+    });
+  }
+  // The calling thread is worker 0 and runs the merge step between
+  // windows; publish_window() may throw a shard's rethrown exception, so
+  // workers must still be released to exit before we propagate it.
+  std::exception_ptr failure;
+  for (;;) {
+    try {
+      publish_window();
+    } catch (...) {
+      failure = std::current_exception();
+      done_.store(true, std::memory_order_relaxed);
+    }
+    gate.arrive_and_wait();
+    if (done_.load(std::memory_order_relaxed)) break;
+    stripe(0);
+    gate.arrive_and_wait();
+  }
+  for (auto& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+void ShardedSimulator::run() {
+  done_.store(false, std::memory_order_relaxed);
+  if (threads_ <= 1 || shards_.size() == 1) {
+    run_sequential();
+  } else {
+    run_parallel();
+  }
+  rethrow_shard_error();
+}
+
+std::uint64_t ShardedSimulator::messages() const {
+  std::uint64_t total = 0;
+  for (const auto& m : mailboxes_) total += m->total_messages();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::mailbox_spills() const {
+  std::uint64_t total = 0;
+  for (const auto& m : mailboxes_) total += m->overflow_spills();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim.events_processed();
+  return total;
+}
+
+SimTime ShardedSimulator::now() const {
+  SimTime best = 0;
+  for (const auto& s : shards_) best = std::max(best, s->sim.now());
+  return best;
+}
+
+std::uint64_t ShardedSimulator::shard_wall_time_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim.wall_time_ns();
+  return total;
+}
+
+}  // namespace ecoscale

@@ -1,0 +1,165 @@
+// Conservative parallel discrete-event engine (sharded Simulator).
+//
+// ECOSCALE's hierarchy bounds communication distance: Workers inside a
+// Compute Node interact at L0 latencies while anything that crosses a node
+// boundary pays at least the interconnect's minimum inter-node latency.
+// That bound makes node boundaries natural parallelization boundaries for
+// the simulator — the same decomposition the runtime itself exploits. The
+// ShardedSimulator gives every Compute Node (or any caller-chosen
+// partition) its own event queue (a full `Simulator` with its slab, 4-ary
+// heap and sorted-run backlog) and advances the shards concurrently inside
+// synchronization windows:
+//
+//   window = [T, T + L)   where T = min next event time over all shards
+//                         and   L = lookahead (min cross-shard latency)
+//
+// Within a window every shard executes only its own events, so shards
+// share no mutable state and need no locks. A cross-shard interaction is
+// an explicit `post(from, to, t, action)` with t >= now(from) + L; the
+// message rides a single-producer/single-consumer mailbox dedicated to the
+// (from, to) pair and is drained at the window barrier. Conservative
+// correctness: a receiver executes events strictly before T + L, and any
+// message produced during the window carries t >= sender_now + L >= T + L,
+// so no shard can ever receive an event in its past.
+//
+// Determinism: the barrier merge is canonical — pending messages are
+// sorted by (time, source shard, mailbox sequence) before being enqueued
+// on the destination, so destination tie-breaking sequence numbers are
+// assigned in an order independent of thread count or completion order.
+// Together with the per-shard deterministic queues this makes a run with
+// `threads = N` byte-identical to `threads = 1` (which executes the exact
+// same window/merge schedule sequentially).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/mailbox.h"
+#include "sim/simulator.h"
+
+namespace ecoscale {
+
+struct ShardedConfig {
+  /// Number of event-queue shards (typically one per Compute Node).
+  std::size_t shards = 1;
+  /// Conservative lookahead: the minimum sim-time distance of any
+  /// cross-shard interaction. Derive it from the interconnect
+  /// (Network::min_cross_group_latency / PgasSystem::shard_lookahead).
+  SimDuration lookahead = nanoseconds(100);
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). The
+  /// thread count never changes simulation results, only wall-clock time.
+  std::size_t threads = 1;
+  /// Ring capacity of each (from, to) mailbox; bursts beyond it spill to a
+  /// producer-owned overflow vector (correct but allocating).
+  std::size_t mailbox_capacity = 1024;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedConfig config);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  SimDuration lookahead() const { return config_.lookahead; }
+  /// Threads the window loop will actually use (clamped to shard count).
+  std::size_t threads_used() const { return threads_; }
+
+  /// Shard-local event queue. Schedule setup events here before run(), or
+  /// same-shard events from inside one of the shard's own actions. NEVER
+  /// touch another shard's queue from a running action — that is what
+  /// post() is for.
+  Simulator& shard(std::size_t s) {
+    ECO_CHECK(s < shards_.size());
+    return shards_[s]->sim;
+  }
+
+  /// Deliver `action` on shard `to` at absolute time `t`, called from
+  /// inside an action currently executing on shard `from`. Requires
+  /// t >= now(from) + lookahead — the conservative contract that keeps
+  /// windows race-free. Messages become destination events at the next
+  /// window barrier, merged canonically by (time, source shard, seq).
+  template <typename F>
+  void post(std::size_t from, std::size_t to, SimTime t, F&& action) {
+    ECO_CHECK(from < shards_.size() && to < shards_.size());
+    ECO_CHECK_MSG(from != to,
+                  "same-shard events use shard(s).schedule_*, not post()");
+    check_post_context(from);
+    ECO_CHECK_MSG(t >= shards_[from]->sim.now() + config_.lookahead,
+                  "cross-shard event inside the lookahead window");
+    mailbox(from, to).push(t, std::forward<F>(action));
+  }
+
+  /// Run windows until every shard queue and every mailbox is empty.
+  /// Rethrows the first (lowest shard id) exception an action threw.
+  void run();
+
+  // --- accounting ---------------------------------------------------------
+  /// Synchronization windows executed so far.
+  std::uint64_t windows() const { return windows_; }
+  /// Cross-shard messages routed through the mailboxes.
+  std::uint64_t messages() const;
+  /// Messages that overflowed a mailbox ring into its spill vector.
+  std::uint64_t mailbox_spills() const;
+  /// Events retired across all shards.
+  std::uint64_t events_processed() const;
+  /// Frontier of simulated time: max over the shard clocks.
+  SimTime now() const;
+  /// Wall time spent retiring events, summed over shards (CPU time, not
+  /// elapsed time — shards run concurrently).
+  std::uint64_t shard_wall_time_ns() const;
+
+ private:
+  struct Shard {
+    Simulator sim;
+    std::exception_ptr error;
+  };
+
+  SpscMailbox& mailbox(std::size_t from, std::size_t to) {
+    return *mailboxes_[from * shards_.size() + to];
+  }
+  const SpscMailbox& mailbox(std::size_t from, std::size_t to) const {
+    return *mailboxes_[from * shards_.size() + to];
+  }
+
+  /// Drain every mailbox in canonical merge order, then either publish the
+  /// next window (window_end_) or set done_.
+  void publish_window();
+  void drain_mailboxes();
+  /// Execute shard `s`'s events strictly before `end`, with the post()
+  /// calling-context guard armed. Exceptions land in the shard's slot.
+  void run_shard_window(std::size_t s, SimTime end);
+  void check_post_context(std::size_t from) const;
+  void rethrow_shard_error();
+  void run_sequential();
+  void run_parallel();
+
+  ShardedConfig config_;
+  std::size_t threads_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;  // shards x shards
+
+  // Window state, written by the merge step and read by the window
+  // workers. Synchronized by the window barrier; atomics keep every access
+  // visibly race-free under TSan as well.
+  std::atomic<SimTime> window_end_{0};
+  std::atomic<bool> done_{false};
+
+  std::uint64_t windows_ = 0;
+
+  // Merge scratch, reused across windows (no steady-state allocation).
+  struct MergeItem {
+    SimTime time;
+    std::uint32_t src;
+    std::uint64_t seq;
+    std::uint32_t pos;  // index into merge_msgs_
+  };
+  std::vector<ShardMessage> merge_msgs_;
+  std::vector<MergeItem> merge_order_;
+};
+
+}  // namespace ecoscale

@@ -90,11 +90,11 @@ class Simulator {
   void run() {
     const auto t0 = Clock::now();
     ECO_TRACE_BEGIN(obs::Cat::kSim, detail::sim_trace_names().run,
-                    (obs::Lane{obs::kSimPid, 0}), now_);
+                    (obs::Lane{obs::kSimPid, trace_tid_}), now_);
     while (step_untimed()) {
     }
     ECO_TRACE_END(obs::Cat::kSim, detail::sim_trace_names().run,
-                  (obs::Lane{obs::kSimPid, 0}), now_);
+                  (obs::Lane{obs::kSimPid, trace_tid_}), now_);
     wall_ns_ += elapsed_ns(t0);
   }
 
@@ -108,6 +108,24 @@ class Simulator {
     return !idle();
   }
 
+  /// Run every event with time strictly before `end` and stop, leaving the
+  /// clock at the last retired event (NOT at `end`). This is the window
+  /// primitive of the sharded parallel engine: events delivered from other
+  /// shards at exactly the window edge must still be schedulable, so the
+  /// clock never advances past what actually executed.
+  void run_before(SimTime end) {
+    const auto t0 = Clock::now();
+    while (has_due_before(end)) step_untimed();
+    wall_ns_ += elapsed_ns(t0);
+  }
+
+  /// Timestamp of the earliest pending event. Precondition: !idle().
+  SimTime next_event_time() const {
+    const Entry* e = peek_min();
+    ECO_CHECK_MSG(e != nullptr, "next_event_time() on an idle simulator");
+    return e->time;
+  }
+
   /// Execute the single earliest event. Returns false if none is pending.
   bool step() {
     const auto t0 = Clock::now();
@@ -117,6 +135,13 @@ class Simulator {
   }
 
   bool idle() const { return heap_.empty() && sorted_.empty(); }
+
+  /// Trace lane (tid under the kSimPid process) this kernel's spans land
+  /// in. The default 0 is the classic single-engine lane; the sharded
+  /// engine gives every shard its own lane so a Chrome trace shows one
+  /// timeline row per Compute Node shard.
+  void set_trace_lane(std::uint16_t tid) { trace_tid_ = tid; }
+  std::uint16_t trace_lane() const { return trace_tid_; }
   std::size_t pending_events() const {
     return heap_.size() + sorted_.size();
   }
@@ -229,6 +254,11 @@ class Simulator {
     return !sorted_.empty() && sorted_.back().time <= t;
   }
 
+  bool has_due_before(SimTime t) const {
+    if (!heap_.empty() && heap_.front().time < t) return true;
+    return !sorted_.empty() && sorted_.back().time < t;
+  }
+
   // When a large backlog has accumulated in the heap, convert it once into
   // a descending sorted run: popping the minimum becomes pop_back, and one
   // std::sort of POD entries beats draining the same entries through
@@ -281,10 +311,10 @@ class Simulator {
     // Dispatch span: the clock advance this event retired, with the queue
     // depth it left behind — the timeline view of where sim-time goes.
     ECO_TRACE_SPAN(obs::Cat::kSim, detail::sim_trace_names().step,
-                   (obs::Lane{obs::kSimPid, 0}), now_, entry.time,
+                   (obs::Lane{obs::kSimPid, trace_tid_}), now_, entry.time,
                    pending_events());
     ECO_TRACE_COUNTER(obs::Cat::kSim, detail::sim_trace_names().pending,
-                      (obs::Lane{obs::kSimPid, 0}), entry.time,
+                      (obs::Lane{obs::kSimPid, trace_tid_}), entry.time,
                       pending_events());
     now_ = entry.time;
     ++events_processed_;
@@ -311,6 +341,7 @@ class Simulator {
   }
 
   SimTime now_ = 0;
+  std::uint16_t trace_tid_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t wall_ns_ = 0;

@@ -189,6 +189,15 @@ class PgasSystem {
     for (auto& d : drams_) d->release(watermark);
   }
 
+  /// Conservative lookahead for sharding a simulation per Compute Node
+  /// (the UNIMEM partition boundary): the minimum head latency of any
+  /// route crossing a level>=1 (inter-node) link. Every cross-node
+  /// interaction — remote load/store, atomic, migration — pays at least
+  /// this before it can touch another node, so a sharded engine using it
+  /// never delivers an event into a shard's past. Returns 0 on a
+  /// single-node machine (no cross-node traffic, nothing to shard).
+  SimDuration shard_lookahead() { return network_->min_cross_latency(1); }
+
   std::uint64_t remote_accesses() const { return remote_accesses_; }
   std::uint64_t local_accesses() const { return local_accesses_; }
   const EnergyMeter& energy() const { return energy_; }

@@ -1,0 +1,416 @@
+// Tests for the sharded parallel simulation engine (sim/parallel.h):
+// SPSC mailbox FIFO + wraparound, the conservative post() contract, the
+// canonical window merge, and — the load-bearing property — byte-identical
+// determinism across --sim-threads 1, 2 and 8, both for a raw engine
+// workload and for a mixed UNIMEM+UNILOGIC workload on ShardedRuntime.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "hls/dse.h"
+#include "hls/ir.h"
+#include "interconnect/network.h"
+#include "interconnect/topology.h"
+#include "runtime/sharded.h"
+#include "sim/mailbox.h"
+#include "sim/parallel.h"
+#include "unimem/pgas.h"
+
+namespace ecoscale {
+namespace {
+
+// FNV-1a over a stream of u64 words (the same recipe the kernel
+// determinism lock in sim_test.cc uses).
+struct TraceHasher {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+};
+
+// --- SPSC mailbox -----------------------------------------------------------
+
+TEST(SpscMailbox, FifoAcrossRingWraparound) {
+  SpscMailbox box(4);
+  ASSERT_EQ(box.capacity(), 4u);
+  std::vector<int> got;
+  std::vector<ShardMessage> out;
+  // 32 push/drain rounds of 3 messages wrap the 4-slot ring many times.
+  for (int round = 0; round < 32; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      const int v = round * 3 + i;
+      const std::uint64_t seq =
+          box.push(static_cast<SimTime>(v), [&got, v] { got.push_back(v); });
+      EXPECT_EQ(seq, static_cast<std::uint64_t>(v));
+    }
+    out.clear();
+    box.drain(out);
+    ASSERT_EQ(out.size(), 3u);
+    for (auto& m : out) m.action();
+  }
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.overflow_spills(), 0u);
+  ASSERT_EQ(got.size(), 96u);
+  for (int v = 0; v < 96; ++v) EXPECT_EQ(got[v], v);
+}
+
+TEST(SpscMailbox, OverflowSpillKeepsFifoOrder) {
+  SpscMailbox box(4);
+  std::vector<int> got;
+  for (int v = 0; v < 10; ++v) {
+    box.push(static_cast<SimTime>(v), [&got, v] { got.push_back(v); });
+  }
+  EXPECT_GT(box.overflow_spills(), 0u);
+  std::vector<ShardMessage> out;
+  box.drain(out);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, i);
+    out[i].action();
+  }
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(got[v], v);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.total_messages(), 10u);
+}
+
+// --- post() contract --------------------------------------------------------
+
+TEST(ShardedSimulator, PostOutsideARunningActionIsRejected) {
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.lookahead = 10;
+  ShardedSimulator engine(sc);
+  EXPECT_THROW(engine.post(0, 1, 100, [] {}), CheckError);
+}
+
+TEST(ShardedSimulator, PostInsideTheLookaheadWindowIsRejected) {
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.lookahead = 100;
+  ShardedSimulator engine(sc);
+  engine.shard(0).schedule_at(50, [&engine] {
+    engine.post(0, 1, engine.shard(0).now() + 99, [] {});  // < lookahead
+  });
+  EXPECT_THROW(engine.run(), CheckError);
+}
+
+TEST(ShardedSimulator, ActionExceptionPropagatesFromWorkerThreads) {
+  ShardedConfig sc;
+  sc.shards = 4;
+  sc.lookahead = 10;
+  sc.threads = 4;
+  ShardedSimulator engine(sc);
+  for (std::size_t s = 0; s < 4; ++s) {
+    engine.shard(s).schedule_at(5, [] {});
+  }
+  engine.shard(3).schedule_at(7, [] {
+    throw std::runtime_error("shard 3 exploded");
+  });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+// --- deterministic cross-shard workload -------------------------------------
+
+// Per-shard actor mesh: every shard runs self-rescheduling actors that mix
+// their execution order into the shard's own hash; a deterministic fraction
+// of fires post a message to another shard, which mixes into the
+// *destination's* hash when it executes there. All mutable state is
+// per-shard, so any hash difference across thread counts is an engine
+// ordering bug.
+struct MeshActor {
+  ShardedSimulator* eng = nullptr;
+  std::size_t shard = 0;
+  std::size_t shards = 0;
+  TraceHasher* hashes = nullptr;  // one per shard, indexed by shard id
+  std::uint64_t remaining = 0;
+  Rng rng{0};
+
+  void fire() {
+    Simulator& sim = eng->shard(shard);
+    TraceHasher& hash = hashes[shard];
+    hash.mix(sim.now());
+    hash.mix(remaining);
+    if (remaining == 0) return;
+    --remaining;
+    if (rng.uniform_u64(4) == 0 && shards > 1) {
+      const std::size_t to =
+          (shard + 1 + rng.uniform_u64(shards - 1)) % shards;
+      const SimTime t =
+          sim.now() + eng->lookahead() + rng.uniform_u64(300);
+      ShardedSimulator* e = eng;
+      TraceHasher* dest = &hashes[to];
+      const std::uint64_t payload = rng.uniform_u64(1u << 30);
+      const std::size_t from = shard;
+      eng->post(shard, to, t, [e, to, dest, payload, from] {
+        dest->mix(e->shard(to).now());
+        dest->mix(payload);
+        dest->mix(from);
+      });
+    }
+    sim.schedule_after(1 + rng.uniform_u64(97), [this] { fire(); });
+  }
+};
+
+std::uint64_t mesh_workload_hash(std::size_t shards, std::size_t threads,
+                                 std::size_t mailbox_capacity,
+                                 std::uint64_t fires_per_actor,
+                                 std::uint64_t* spills_out = nullptr) {
+  ShardedConfig sc;
+  sc.shards = shards;
+  sc.lookahead = 200;
+  sc.threads = threads;
+  sc.mailbox_capacity = mailbox_capacity;
+  ShardedSimulator engine(sc);
+  std::vector<TraceHasher> hashes(shards);
+  std::vector<std::unique_ptr<MeshActor>> actors;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (int a = 0; a < 4; ++a) {
+      actors.push_back(std::make_unique<MeshActor>());
+      MeshActor& actor = *actors.back();
+      actor.eng = &engine;
+      actor.shard = s;
+      actor.shards = shards;
+      actor.hashes = hashes.data();
+      actor.remaining = fires_per_actor;
+      actor.rng = Rng(0xBEEF + s * 16 + a);
+      engine.shard(s).schedule_at(1 + a, [&actor] { actor.fire(); });
+    }
+  }
+  engine.run();
+  TraceHasher combined;
+  for (const TraceHasher& h : hashes) combined.mix(h.h);
+  combined.mix(engine.events_processed());
+  combined.mix(engine.messages());
+  combined.mix(engine.windows());
+  if (spills_out != nullptr) *spills_out = engine.mailbox_spills();
+  EXPECT_GT(engine.messages(), 0u);
+  return combined.h;
+}
+
+TEST(ShardedSimulator, ByteIdenticalAcrossSimThreads1_2_8) {
+  const std::uint64_t h1 = mesh_workload_hash(8, 1, 1024, 400);
+  const std::uint64_t h2 = mesh_workload_hash(8, 2, 1024, 400);
+  const std::uint64_t h8 = mesh_workload_hash(8, 8, 1024, 400);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h8);
+}
+
+// Window-boundary mailbox stress: a 4-slot ring under a message rate far
+// beyond it wraps its indices every window and overflows constantly; the
+// spill path must preserve the canonical merge exactly.
+TEST(ShardedSimulator, MailboxWraparoundAtWindowBoundariesIsDeterministic) {
+  std::uint64_t spills1 = 0;
+  std::uint64_t spills4 = 0;
+  const std::uint64_t h1 = mesh_workload_hash(4, 1, 4, 800, &spills1);
+  const std::uint64_t h4 = mesh_workload_hash(4, 4, 4, 800, &spills4);
+  EXPECT_EQ(h1, h4);
+  EXPECT_GT(spills1, 0u);
+  EXPECT_EQ(spills1, spills4);
+}
+
+TEST(ShardedSimulator, ThreadsClampedToShardCount) {
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.lookahead = 10;
+  sc.threads = 16;
+  ShardedSimulator engine(sc);
+  EXPECT_EQ(engine.threads_used(), 2u);
+}
+
+// --- lookahead queries ------------------------------------------------------
+
+TEST(Network, MinCrossLatencyOnATwoLevelTree) {
+  NetworkConfig nc;
+  LinkParams l0;
+  l0.hop_latency = nanoseconds(20);
+  LinkParams l1;
+  l1.hop_latency = nanoseconds(150);
+  nc.level_params = {{0, l0}, {1, l1}};
+  Network net(make_tree({2, 2}), nc);
+  // Same-switch pair: up + down over two level-0 links.
+  EXPECT_EQ(net.min_cross_latency(0), nanoseconds(40));
+  // Crossing the level-1 tier costs two level-0 and two level-1 hops.
+  EXPECT_EQ(net.min_cross_latency(1), nanoseconds(340));
+  // Nothing crosses a level that does not exist.
+  EXPECT_EQ(net.min_cross_latency(2), 0);
+  EXPECT_EQ(net.route_latency(0, 1), nanoseconds(40));
+  EXPECT_EQ(net.route_latency(0, 2), nanoseconds(340));
+}
+
+TEST(PgasSystem, ShardLookaheadMatchesInterNodeTier) {
+  PgasConfig pc;
+  pc.nodes = 4;
+  pc.workers_per_node = 2;
+  PgasSystem pgas(pc);
+  const SimDuration la = pgas.shard_lookahead();
+  EXPECT_GT(la, 0);
+  // A cross-node route pays at least one l1 hop on top of intra-node hops.
+  EXPECT_GE(la, pc.l1_link.hop_latency);
+  // And it is a true lower bound on the network's cross-tier latency.
+  EXPECT_EQ(la, pgas.network().min_cross_latency(1));
+}
+
+TEST(PgasSystem, SingleNodeMachineHasNoCrossTraffic) {
+  PgasConfig pc;
+  pc.nodes = 1;
+  pc.workers_per_node = 4;
+  PgasSystem pgas(pc);
+  EXPECT_EQ(pgas.shard_lookahead(), 0);
+}
+
+// --- mixed UNIMEM+UNILOGIC workload on ShardedRuntime -----------------------
+
+// Per-node epoch generator: every epoch it issues node-local UNIMEM
+// traffic, submits local tasks (software + fabric via the UNILOGIC pool),
+// and forwards one task to another node through the engine mailboxes.
+struct NodeGenerator {
+  ShardedRuntime* rt = nullptr;
+  std::size_t node = 0;
+  std::size_t nodes = 0;
+  std::size_t workers = 0;
+  int epochs_left = 0;
+  TaskId next_id = 0;
+  Rng rng{0};
+  GlobalAddress buf{};
+  TraceHasher* hash = nullptr;
+  const std::vector<KernelIR>* kernels = nullptr;
+
+  Task make_task(SimTime release) {
+    Task t;
+    t.id = next_id++;
+    const KernelIR& k = (*kernels)[rng.uniform_u64(kernels->size())];
+    t.kernel = k.id;
+    t.items = 2000 + rng.uniform_u64(8000);
+    t.features.items = static_cast<double>(t.items);
+    t.features.bytes =
+        static_cast<double>(t.items * (k.bytes_in + k.bytes_out));
+    t.home = WorkerCoord{0, static_cast<WorkerId>(rng.uniform_u64(workers))};
+    t.release = release;
+    return t;
+  }
+
+  void fire() {
+    Simulator& sim = rt->shard(node);
+    PgasSystem& pgas = rt->machine(node).pgas();
+    // Node-local UNIMEM traffic (stays inside the shard's domain).
+    const auto who =
+        WorkerCoord{0, static_cast<WorkerId>(rng.uniform_u64(workers))};
+    const auto ld = pgas.load(who, buf, 256, sim.now());
+    const auto st = pgas.store(who, buf, 128, ld.finish);
+    hash->mix(ld.finish);
+    hash->mix(st.finish);
+    // Local work for this node's scheduler / UNILOGIC pool.
+    for (int i = 0; i < 2; ++i) rt->submit(node, make_task(sim.now()));
+    // One cross-node forward through the SPSC mailboxes.
+    if (nodes > 1) {
+      const std::size_t to = (node + 1 + rng.uniform_u64(nodes - 1)) % nodes;
+      rt->post_task(node, to, make_task(0));
+    }
+    if (--epochs_left > 0) {
+      sim.schedule_after(microseconds(30), [this] { fire(); });
+    }
+  }
+};
+
+std::uint64_t sharded_runtime_hash(std::size_t threads,
+                                   ShardedRuntime::Stats* stats_out = nullptr) {
+  ShardedRuntimeConfig cfg;
+  cfg.nodes = 8;
+  cfg.workers_per_node = 2;
+  cfg.threads = threads;
+  cfg.runtime.placement = PlacementPolicy::kModelBased;
+  cfg.runtime.share_fabric = true;
+  cfg.runtime.distribution = DistributionPolicy::kLazyLocal;
+  ShardedRuntime rt(cfg);
+  const std::vector<KernelIR> kernels = {make_stencil5_kernel(),
+                                         make_spmv_kernel()};
+  for (const auto& k : kernels) rt.register_kernel(k, emit_variants(k, 2));
+
+  std::vector<TraceHasher> hashes(cfg.nodes);
+  std::vector<std::unique_ptr<NodeGenerator>> gens;
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    gens.push_back(std::make_unique<NodeGenerator>());
+    NodeGenerator& g = *gens.back();
+    g.rt = &rt;
+    g.node = node;
+    g.nodes = cfg.nodes;
+    g.workers = cfg.workers_per_node;
+    g.epochs_left = 6;
+    g.next_id = 1 + node * 1000000;
+    g.rng = Rng(0x5EED + node);
+    g.buf = rt.machine(node).pgas().alloc(0, 0, kibibytes(64));
+    g.hash = &hashes[node];
+    g.kernels = &kernels;
+    rt.shard(node).schedule_at(static_cast<SimTime>(1 + node),
+                               [&g] { g.fire(); });
+  }
+  rt.run();
+
+  TraceHasher combined;
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    combined.mix(hashes[node].h);
+    for (const TaskResult& r : rt.runtime(node).results()) {
+      combined.mix(r.id);
+      combined.mix(r.started);
+      combined.mix(r.finished);
+      combined.mix(static_cast<std::uint64_t>(r.device));
+      combined.mix(r.executed_on);
+      combined.mix_double(r.energy);
+    }
+    combined.mix_double(rt.machine(node).total_energy());
+  }
+  const ShardedRuntime::Stats s = rt.stats();
+  combined.mix(s.makespan);
+  combined.mix(s.events);
+  combined.mix(s.windows);
+  combined.mix(s.cross_posts);
+  if (stats_out != nullptr) *stats_out = s;
+  return combined.h;
+}
+
+TEST(ShardedRuntime, MixedUnimemUnilogicWorkloadIdenticalAcrossThreads) {
+  ShardedRuntime::Stats s1{};
+  const std::uint64_t h1 = sharded_runtime_hash(1, &s1);
+  const std::uint64_t h2 = sharded_runtime_hash(2);
+  const std::uint64_t h8 = sharded_runtime_hash(8);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h8);
+  // The workload really was mixed and really did cross node boundaries:
+  // 8 nodes x 6 epochs x (2 local + 1 forwarded) tasks.
+  EXPECT_EQ(s1.tasks, 8u * 6u * 3u);
+  EXPECT_GT(s1.cross_posts, 0u);
+  EXPECT_GT(s1.windows, 0u);
+  EXPECT_GT(s1.makespan, 0u);
+}
+
+TEST(ShardedRuntime, ForwardedTasksPayTheInterNodeLatency) {
+  ShardedRuntimeConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 2;
+  ShardedRuntime rt(cfg);
+  EXPECT_GT(rt.lookahead(), 0);
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      EXPECT_GE(rt.inter_node_latency(from, to), rt.lookahead());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecoscale
