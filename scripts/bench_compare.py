@@ -75,6 +75,12 @@ def higher_is_better(column):
     return "/sec" in column or "per_sec" in column
 
 
+def exact_match(column):
+    """Hash columns encode determinism: any change at all is a failure,
+    whatever its sign or magnitude."""
+    return "hash" in column.lower()
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("before")
@@ -110,7 +116,12 @@ def main():
                 if new is None or old == 0:
                     continue
                 change = 100.0 * (new - old) / old
-                regression = -change if higher_is_better(col) else change
+                if exact_match(col):
+                    # Determinism gate: any drift fails regardless of the
+                    # numeric threshold (hashes are not magnitudes).
+                    regression = 0.0 if new == old else float("inf")
+                else:
+                    regression = -change if higher_is_better(col) else change
                 worst = max(worst, regression)
                 rows.append((key, row_name, col, old, new, change))
 

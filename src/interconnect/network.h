@@ -6,6 +6,17 @@
 // time is paid once per link and reserved on the link's timeline, so
 // congestion lengthens transfers. Energy: pJ/byte/hop plus per-packet switch
 // energy, with per-level parameters (higher levels are longer and costlier).
+//
+// Routing state is hierarchical/implicit by default (DESIGN.md §7.7): when
+// the topology is a tree — every ECOSCALE machine shape (worker/node/chassis
+// hierarchies, crossbars, buses) is one — routes are *computed* from each
+// vertex's tree position by a lowest-common-ancestor walk instead of being
+// materialized in a dense src·E+dst table. A 100k-endpoint machine then
+// carries ~16 bytes of routing state per vertex instead of an 8-byte
+// RouteRef per endpoint *pair* (80 GB at 100k). Non-tree topologies
+// (dragonfly, mesh) keep the legacy dense table, as does
+// RoutingMode::kDenseTable — the equivalence oracle for tests and an opt-in
+// cache for small machines.
 #pragma once
 
 #include <array>
@@ -31,6 +42,16 @@ struct LinkParams {
   double pj_per_packet = 5.0;  // switch/arbiter energy
 };
 
+/// How routes are resolved (see the header comment).
+enum class RoutingMode {
+  /// Implicit LCA routing when the topology is a tree, dense otherwise.
+  kAuto,
+  /// Require implicit routing; constructing over a non-tree is an error.
+  kImplicitTree,
+  /// Legacy dense src·E+dst table with BFS precompute, even for trees.
+  kDenseTable,
+};
+
 struct NetworkConfig {
   /// Per-level link parameters; a level not present falls back to level 0
   /// (which must be present).
@@ -38,6 +59,8 @@ struct NetworkConfig {
 
   /// If true, all links share one serialization timeline (a bus).
   bool shared_medium = false;
+
+  RoutingMode routing = RoutingMode::kAuto;
 };
 
 struct TransferResult {
@@ -58,13 +81,17 @@ class Network {
   TransferResult send(std::size_t src, std::size_t dst, const Packet& packet,
                       SimTime ready);
 
-  /// Hop count of the route between two endpoints.
+  /// Hop count of the route between two endpoints. Pure (thread-safe) under
+  /// implicit routing.
   int hop_count(std::size_t src, std::size_t dst);
 
   /// Pure head latency (sum of per-hop latencies, no serialization or
   /// queueing) of the route between two endpoints. A lower bound on any
   /// send() between the pair, whatever the congestion or degradation
   /// state — degradation throttles bandwidth, never hop latency.
+  /// Under implicit routing this is a mutation-free LCA walk, safe to call
+  /// from concurrent shard threads; under the dense table it lazily
+  /// materializes the route (call min_cross_latency() first to pre-warm).
   SimDuration route_latency(std::size_t src, std::size_t dst);
 
   /// Minimum route_latency() over all endpoint pairs whose route traverses
@@ -73,13 +100,18 @@ class Network {
   /// This is the conservative lookahead of the sharded parallel simulation
   /// engine: shard per Compute Node, pass min_cross_latency(1), and no
   /// cross-shard event can ever land inside a synchronization window.
-  /// Returns 0 if no route crosses `min_level` (single-partition topology);
-  /// cached per level, and as a side effect materializes every route, so
-  /// later route-table reads are safe from concurrent shard threads.
+  /// Returns 0 if no route crosses `min_level` (single-partition topology).
+  /// Implicit routing computes it analytically (an O(V) two-pass tree DP
+  /// over per-level link latencies) instead of enumerating endpoint pairs;
+  /// the dense path keeps the pairwise sweep and, as a side effect,
+  /// materializes every route so later table reads are safe from
+  /// concurrent shard threads. Cached per level either way.
   SimDuration min_cross_latency(int min_level = 0);
 
   /// Maximum hop count over all endpoint pairs (paper §2: tree depth adds
-  /// one hop per level). Computed by BFS from every endpoint.
+  /// one hop per level). Implicit routing derives it from the level
+  /// structure — the deepest-LCA endpoint pair, an O(V) tree DP — instead
+  /// of one BFS per source (quadratic at 10k+ endpoints).
   int diameter();
 
   // --- accounting -------------------------------------------------------
@@ -93,6 +125,14 @@ class Network {
   /// Peak serialization backlog seen on any link timeline.
   SimTime max_link_busy() const;
   double max_link_utilization(SimTime horizon) const;
+
+  /// True when routes are computed implicitly from the topology tree.
+  bool implicit_routing() const { return tree_routing_; }
+  /// Logical bytes of routing state: the per-vertex tree arrays under
+  /// implicit routing, or the dense RouteRef table + path arena + BFS
+  /// parent caches under the dense table. Size-based (not capacity), so
+  /// the number is deterministic and bench_scale can gate it per endpoint.
+  std::size_t route_state_bytes() const;
 
   // --- fault injection --------------------------------------------------
   /// Degrade (or restore, factor = 1.0) every link of `level`: effective
@@ -114,15 +154,23 @@ class Network {
   const Topology& topology() const { return topo_; }
 
  private:
-  /// Route between endpoint *indices*, resolved through the dense route
-  /// table (offsets into one shared LinkId arena). Lazily built; the
-  /// returned span is valid until the next cold route is materialized.
+  /// Route between endpoint *indices*. Dense mode resolves through the
+  /// dense route table (offsets into one shared LinkId arena), lazily
+  /// built; implicit mode materializes the LCA walk into a scratch vector.
+  /// Either way the returned span is valid until the next route() call.
   std::span<const LinkId> route(std::size_t src_ep, std::size_t dst_ep);
+  std::span<const LinkId> tree_route(VertexId src, VertexId dst);
   const LinkParams& params_for_level(int level) const {
     const auto l = static_cast<std::size_t>(level);
     return l < level_params_.size() ? level_params_[l] : level_params_[0];
   }
+  SimDuration up_hop_latency(VertexId v) const {
+    return params_for_level(topo_.link(up_link_[v]).level).hop_latency;
+  }
   const std::vector<std::uint32_t>& parents_from(VertexId src);
+  /// Root the topology at vertex 0 if it is a tree; fills the per-vertex
+  /// arrays and returns true. Non-trees leave them empty.
+  bool try_root_tree();
 
   Topology topo_;
   NetworkConfig config_;
@@ -142,8 +190,21 @@ class Network {
   std::vector<double> level_factor_;  // serialization multiplier, >= 1.0
   std::array<CounterId, kPacketTypeCount> packet_energy_ids_{};
 
-  // Routing caches. routes_ is a dense src*E+dst table of {offset, len}
-  // into path_arena_; parent trees are cached per source vertex.
+  // Implicit hierarchical routing (DESIGN.md §7.7). Four u32 arrays indexed
+  // by vertex — 16 bytes per vertex, the entire routing state of a tree.
+  // parent_/up_link_/down_link_ hold kNoVertex / kNoLink at the root.
+  bool tree_routing_ = false;
+  std::vector<std::uint32_t> parent_;    // parent vertex
+  std::vector<LinkId> up_link_;          // v -> parent(v)
+  std::vector<LinkId> down_link_;        // parent(v) -> v
+  std::vector<std::uint32_t> depth_;     // root = 0
+  std::vector<VertexId> bfs_order_;      // parents before children (DP order)
+  std::vector<LinkId> path_scratch_;     // send()'s materialized route
+  std::vector<LinkId> down_scratch_;     // dst-side chain, reversed into path
+
+  // Dense routing caches (legacy / non-tree). routes_ is a dense src*E+dst
+  // table of {offset, len} into path_arena_; parent trees are cached per
+  // source vertex.
   struct RouteRef {
     std::uint32_t offset = 0;
     std::uint32_t len = kUnresolved;

@@ -31,28 +31,17 @@ class Machine {
     config_.pgas.workers_per_node = config_.workers_per_node;
     pgas_ = std::make_unique<PgasSystem>(config_.pgas);
     mpi_ = std::make_unique<MpiWorld>(config_.nodes, config_.mpi);
-    workers_.reserve(worker_count());
-    for (std::size_t i = 0; i < worker_count(); ++i) {
-      workers_.push_back(
-          std::make_unique<Worker>(pgas_->coord(i), config_.worker));
-    }
-    pools_.reserve(config_.nodes);
-    for (std::size_t n = 0; n < config_.nodes; ++n) {
-      std::vector<Worker*> node_workers;
-      for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
-        node_workers.push_back(
-            workers_[n * config_.workers_per_node + w].get());
-      }
-      pools_.push_back(std::make_unique<UnilogicPool>(
-          std::move(node_workers), pgas_->network(),
-          n * config_.workers_per_node));
-    }
+    // Pooled lazy state (DESIGN.md §7.7): workers and UNILOGIC pools are
+    // null slots built on first touch, so constructing a 100k-worker
+    // machine costs pointers, not Worker objects. Construction has no
+    // timed side effects, so laziness never changes simulation results.
+    workers_.resize(worker_count());
+    pools_.resize(config_.nodes);
     // One machine-wide liveness registry, shared by every layer that must
     // route around failures (all-up unless a fault injector marks workers
     // down, so the healthy paths are unchanged).
     health_.reset(worker_count(), config_.workers_per_node);
     pgas_->set_health(&health_);
-    for (auto& p : pools_) p->set_health(&health_);
   }
 
   std::size_t node_count() const { return config_.nodes; }
@@ -61,9 +50,44 @@ class Machine {
     return config_.nodes * config_.workers_per_node;
   }
 
-  Worker& worker(std::size_t flat) { return *workers_[flat]; }
-  Worker& worker(WorkerCoord c) { return *workers_[pgas_->flat(c)]; }
-  UnilogicPool& pool(NodeId node) { return *pools_[node]; }
+  Worker& worker(std::size_t flat) {
+    ECO_CHECK(flat < workers_.size());
+    auto& slot = workers_[flat];
+    if (slot == nullptr) {
+      slot = std::make_unique<Worker>(pgas_->coord(flat), config_.worker);
+    }
+    return *slot;
+  }
+  Worker& worker(WorkerCoord c) { return worker(pgas_->flat(c)); }
+  UnilogicPool& pool(NodeId node) {
+    ECO_CHECK(node < pools_.size());
+    auto& slot = pools_[node];
+    if (slot == nullptr) {
+      // The pool programs its node's workers, so first touch of a node
+      // forces its workers_per_node Worker slots — per-node, not
+      // per-machine.
+      std::vector<Worker*> node_workers;
+      node_workers.reserve(config_.workers_per_node);
+      for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+        node_workers.push_back(
+            &worker(static_cast<std::size_t>(node) * config_.workers_per_node +
+                    w));
+      }
+      slot = std::make_unique<UnilogicPool>(
+          std::move(node_workers), pgas_->network(),
+          static_cast<std::size_t>(node) * config_.workers_per_node);
+      slot->set_health(&health_);
+    }
+    return *slot;
+  }
+
+  /// Worker slots actually built — the pooling metric bench_scale tracks
+  /// (untouched workers stay at 0).
+  std::size_t constructed_workers() const {
+    std::size_t n = 0;
+    for (const auto& w : workers_) n += w != nullptr;
+    return n;
+  }
   PgasSystem& pgas() { return *pgas_; }
   MpiWorld& mpi() { return *mpi_; }
   HealthRegistry& health() { return health_; }
@@ -82,10 +106,13 @@ class Machine {
   Picojoules total_energy() const {
     Picojoules total = pgas_->energy().total() + mpi_->energy().total();
     for (const auto& w : workers_) {
+      if (w == nullptr) continue;  // untouched worker: no energy by definition
       total += w->energy().total() + w->cpu().energy().total() +
                w->fabric().energy().total() + w->smmu().energy();
     }
-    for (const auto& p : pools_) total += p->energy().total();
+    for (const auto& p : pools_) {
+      if (p != nullptr) total += p->energy().total();
+    }
     return total;
   }
 

@@ -21,18 +21,12 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeConfig config)
   nc.level_params = {{0, config_.machine.pgas.l1_link}};
   internode_ = std::make_unique<Network>(
       make_crossbar(std::max<std::size_t>(n, 2)), nc);
-  latency_.assign(n * n, 0);
-  for (std::size_t from = 0; from < n; ++from) {
-    for (std::size_t to = 0; to < n; ++to) {
-      if (from == to) continue;
-      latency_[from * n + to] = internode_->route_latency(from, to);
-    }
-  }
+  ECO_CHECK_MSG(internode_->implicit_routing(),
+                "inter-node crossbar must route implicitly (shard threads "
+                "query route_latency concurrently)");
 
   ShardedConfig sc;
   sc.shards = n;
-  // min_cross_latency also materializes every route, so the latency
-  // queries above and any later reads are concurrency-safe.
   sc.lookahead = std::max<SimDuration>(internode_->min_cross_latency(0), 1);
   sc.threads = config_.threads;
   sc.mailbox_capacity = config_.mailbox_capacity;

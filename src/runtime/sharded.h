@@ -14,10 +14,12 @@
 // at least the engine's lookahead, so no shard ever receives an event in
 // its past.
 //
-// The inter-node latency matrix and the lookahead are derived from a
-// Network over the node-level topology (Network::min_cross_latency), not
-// hand-tuned constants: changing link parameters automatically tightens or
-// relaxes the window size.
+// Inter-node latencies and the lookahead are derived from a Network over
+// the node-level topology (Network::route_latency / min_cross_latency) —
+// the same implicit-route oracle the machine uses, queried on demand
+// rather than materialized as an N² matrix — not hand-tuned constants:
+// changing link parameters automatically tightens or relaxes the window
+// size.
 #pragma once
 
 #include <cstddef>
@@ -58,9 +60,12 @@ class ShardedRuntime {
   /// inter-node head latency of the node-level interconnect.
   SimDuration lookahead() const { return engine_->lookahead(); }
   /// Head latency of the inter-node route (what a forwarded task pays).
+  /// Answered by the interconnect's implicit-route oracle — a mutation-free
+  /// LCA walk (Network::route_latency), safe from concurrent shard threads
+  /// — instead of a dense nodes² table.
   SimDuration inter_node_latency(std::size_t from, std::size_t to) const {
     ECO_CHECK(from < nodes_.size() && to < nodes_.size());
-    return latency_[from * nodes_.size() + to];
+    return internode_->route_latency(from, to);
   }
 
   Machine& machine(std::size_t node) { return *nodes_[node].machine; }
@@ -115,7 +120,6 @@ class ShardedRuntime {
 
   ShardedRuntimeConfig config_;
   std::unique_ptr<Network> internode_;  // latency oracle, never send()s
-  std::vector<SimDuration> latency_;    // nodes x nodes head latencies
   std::unique_ptr<ShardedSimulator> engine_;
   std::vector<Node> nodes_;
 };

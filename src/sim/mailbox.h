@@ -1,10 +1,16 @@
-// Single-producer / single-consumer mailbox for cross-shard events.
+// Single-producer / single-consumer lanes for cross-shard events.
 //
-// The sharded parallel engine gives every ordered shard pair (from, to) one
-// mailbox. During a synchronization window only the thread running shard
-// `from` pushes into it; messages are drained at the window barrier (by the
-// merge thread) and converted into ordinary events on the destination
-// shard's queue. The ring is a power-of-two array with acquire/release
+// The sharded parallel engine used to give every ordered shard pair
+// (from, to) its own mailbox — shards² heap-allocated rings, ~34 MB of
+// pointerchasing state at 64 shards and unusable at the 6k+ shards a
+// 100k-worker machine wants. Lanes consolidate that to one ring per
+// *worker thread* (DESIGN.md §7.7): a shard's thread owns exactly one lane
+// for the whole window, every message it posts — whatever the destination —
+// goes into that lane, and the message itself carries the full merge key
+// (time, source shard, destination shard, per-source sequence). The lane is
+// still SPSC by construction: only the owning thread pushes during a
+// window, and the merge thread drains at the barrier when all producers
+// are quiescent. The ring is a power-of-two array with acquire/release
 // head/tail indices — the classic wait-free SPSC queue — so a drain could
 // even overlap the producer's window without a data race, although the
 // engine only drains at barriers.
@@ -14,7 +20,9 @@
 // later push of that window goes to the overflow too, so FIFO order is
 // preserved (ring first, then overflow — and the drain happens before the
 // producer can push again). Spills are counted; steady state should be
-// allocation-free with a well-sized ring.
+// allocation-free with a well-sized ring. Note spill *counts* depend on how
+// many shards share a lane and are therefore a wall-clock-side metric that
+// varies with the thread count; simulation results never do.
 #pragma once
 
 #include <atomic>
@@ -29,54 +37,58 @@
 
 namespace ecoscale {
 
-/// One cross-shard event in flight: deliver `action` on the destination
-/// shard at absolute sim time `time`. `seq` is the producer-side send
-/// counter of this mailbox — the third key of the canonical merge order
-/// (time, source shard, seq).
+/// One cross-shard event in flight: deliver `action` on shard `dst` at
+/// absolute sim time `time`. `src` and `seq` (the source shard's running
+/// send counter) complete the canonical merge key — lanes are shared by
+/// many shard pairs, so every message is self-describing.
 struct ShardMessage {
   SimTime time = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
   std::uint64_t seq = 0;
   InlineAction action;
 };
 
-class SpscMailbox {
+class ShardLane {
  public:
-  explicit SpscMailbox(std::size_t capacity = 1024) {
+  explicit ShardLane(std::size_t capacity = 1024) {
     std::size_t cap = 1;
     while (cap < capacity) cap <<= 1;
     ring_.resize(cap);
     mask_ = cap - 1;
   }
 
-  // The ring indices are atomics; moving a mailbox after threads saw it
-  // would be a bug, so mailboxes are built once and pinned.
-  SpscMailbox(const SpscMailbox&) = delete;
-  SpscMailbox& operator=(const SpscMailbox&) = delete;
+  // The ring indices are atomics; moving a lane after threads saw it would
+  // be a bug, so lanes are built once and pinned.
+  ShardLane(const ShardLane&) = delete;
+  ShardLane& operator=(const ShardLane&) = delete;
 
-  /// Producer side. Assigns and returns the message's send sequence
-  /// number. Falls back to the overflow vector when the ring is full (or
-  /// once anything is already waiting there, to keep FIFO order).
+  /// Producer side (the lane-owning thread only). The caller supplies the
+  /// full merge key; the lane never orders, only buffers. Falls back to
+  /// the overflow vector when the ring is full (or once anything is
+  /// already waiting there, to keep FIFO order).
   template <typename F>
-  std::uint64_t push(SimTime time, F&& action) {
-    const std::uint64_t seq = next_seq_++;
+  void push(SimTime time, std::uint32_t src, std::uint32_t dst,
+            std::uint64_t seq, F&& action) {
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (!overflow_.empty() || tail - head > mask_) {
       ++overflow_spills_;
-      overflow_.push_back(
-          ShardMessage{time, seq, InlineAction(std::forward<F>(action))});
-      return seq;
+      overflow_.push_back(ShardMessage{time, src, dst, seq,
+                                       InlineAction(std::forward<F>(action))});
+      return;
     }
     ShardMessage& slot = ring_[static_cast<std::size_t>(tail) & mask_];
     slot.time = time;
+    slot.src = src;
+    slot.dst = dst;
     slot.seq = seq;
     slot.action.emplace(std::forward<F>(action));
     tail_.store(tail + 1, std::memory_order_release);
-    return seq;
   }
 
   /// Consumer side: move every pending message into `out` (appended) in
-  /// send order. Called at window barriers; the producer is quiescent by
+  /// push order. Called at window barriers; the producer is quiescent by
   /// then, so the overflow vector is safe to steal as well.
   void drain(std::vector<ShardMessage>& out) {
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
@@ -101,16 +113,18 @@ class SpscMailbox {
   }
 
   std::size_t capacity() const { return mask_ + 1; }
-  /// Messages ever routed through this mailbox.
-  std::uint64_t total_messages() const { return next_seq_; }
-  /// Messages that missed the ring and took the overflow vector.
+  /// Pushes that missed the ring and took the overflow vector.
   std::uint64_t overflow_spills() const { return overflow_spills_; }
+  /// Bytes of buffering this lane holds (ring slots; the transient
+  /// overflow vector is excluded — it is empty between windows).
+  std::size_t state_bytes() const {
+    return ring_.size() * sizeof(ShardMessage);
+  }
 
  private:
   std::vector<ShardMessage> ring_;
   std::size_t mask_ = 0;
   // Producer-owned (no concurrent access by contract):
-  std::uint64_t next_seq_ = 0;
   std::uint64_t overflow_spills_ = 0;
   std::vector<ShardMessage> overflow_;
   // Shared SPSC cursors:

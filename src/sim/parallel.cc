@@ -27,10 +27,12 @@ struct ParTraceNames {
 constexpr std::uint16_t kEngineTid = 0xFFF0;
 
 /// Which shard (of which engine) the current thread is executing a window
-/// for; post() validates its `from` argument against this.
+/// for, and which lane it owns; post() validates its `from` argument
+/// against this and routes through the lane.
 struct RunContext {
   const void* engine = nullptr;
   std::size_t shard = 0;
+  ShardLane* lane = nullptr;
 };
 thread_local RunContext tls_run_context;
 
@@ -52,52 +54,55 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config) : config_(config) {
     // Lane 0 stays the classic single-engine lane; shard s gets lane s+1.
     shards_.back()->sim.set_trace_lane(static_cast<std::uint16_t>(s + 1));
   }
-  mailboxes_.reserve(config_.shards * config_.shards);
-  for (std::size_t i = 0; i < config_.shards * config_.shards; ++i) {
-    mailboxes_.push_back(
-        std::make_unique<SpscMailbox>(config_.mailbox_capacity));
+  lanes_.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t) {
+    lanes_.push_back(std::make_unique<ShardLane>(config_.mailbox_capacity));
   }
 }
 
-void ShardedSimulator::check_post_context(std::size_t from) const {
+void ShardedSimulator::post_message(std::size_t from, std::size_t to,
+                                    SimTime t, InlineAction action) {
+  ECO_CHECK(from < shards_.size() && to < shards_.size());
+  ECO_CHECK_MSG(from != to,
+                "same-shard events use shard(s).schedule_*, not post()");
   ECO_CHECK_MSG(tls_run_context.engine == this,
                 "post() called outside a running shard action");
   ECO_CHECK_MSG(tls_run_context.shard == from,
                 "post() `from` must be the shard executing this action");
+  ECO_CHECK_MSG(t >= shards_[from]->sim.now() + config_.lookahead,
+                "cross-shard event inside the lookahead window");
+  Shard& src = *shards_[from];
+  tls_run_context.lane->push(t, static_cast<std::uint32_t>(from),
+                             static_cast<std::uint32_t>(to), src.post_seq++,
+                             std::move(action));
 }
 
 void ShardedSimulator::drain_mailboxes() {
-  const std::size_t n = shards_.size();
-  for (std::size_t dst = 0; dst < n; ++dst) {
-    merge_msgs_.clear();
-    merge_order_.clear();
-    for (std::size_t src = 0; src < n; ++src) {
-      if (src == dst) continue;
-      SpscMailbox& box = mailbox(src, dst);
-      const std::size_t before = merge_msgs_.size();
-      box.drain(merge_msgs_);
-      for (std::size_t i = before; i < merge_msgs_.size(); ++i) {
-        merge_order_.push_back(MergeItem{merge_msgs_[i].time,
-                                         static_cast<std::uint32_t>(src),
-                                         merge_msgs_[i].seq,
-                                         static_cast<std::uint32_t>(i)});
-      }
-    }
-    if (merge_order_.empty()) continue;
-    // Canonical merge order: (time, source shard, send sequence). The
-    // destination queue assigns its tie-breaking sequence numbers in this
-    // order, so execution is independent of thread count and of the order
-    // the producing shards happened to finish their windows.
-    std::sort(merge_order_.begin(), merge_order_.end(),
-              [](const MergeItem& a, const MergeItem& b) {
-                if (a.time != b.time) return a.time < b.time;
-                if (a.src != b.src) return a.src < b.src;
-                return a.seq < b.seq;
-              });
-    Simulator& sim = shards_[dst]->sim;
-    for (const MergeItem& item : merge_order_) {
-      sim.schedule_at(item.time, std::move(merge_msgs_[item.pos].action));
-    }
+  merge_msgs_.clear();
+  merge_order_.clear();
+  for (auto& lane : lanes_) lane->drain(merge_msgs_);
+  if (merge_msgs_.empty()) return;
+  for (std::size_t i = 0; i < merge_msgs_.size(); ++i) {
+    const ShardMessage& m = merge_msgs_[i];
+    merge_order_.push_back(MergeItem{m.time, m.src, m.dst, m.seq,
+                                     static_cast<std::uint32_t>(i)});
+  }
+  // Canonical merge order: by destination, then (time, source shard, send
+  // sequence). The destination queue assigns its tie-breaking sequence
+  // numbers in this order, so execution is independent of thread count, of
+  // which lane a message rode, and of the order the producing shards
+  // happened to finish their windows. (src, seq) is unique, so the key is
+  // a total order and no stable sort is needed.
+  std::sort(merge_order_.begin(), merge_order_.end(),
+            [](const MergeItem& a, const MergeItem& b) {
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.time != b.time) return a.time < b.time;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (const MergeItem& item : merge_order_) {
+    shards_[item.dst]->sim.schedule_at(item.time,
+                                       std::move(merge_msgs_[item.pos].action));
   }
 }
 
@@ -121,9 +126,10 @@ void ShardedSimulator::publish_window() {
   ++windows_;
 }
 
-void ShardedSimulator::run_shard_window(std::size_t s, SimTime end) {
+void ShardedSimulator::run_shard_window(std::size_t s, SimTime end,
+                                        std::size_t lane) {
   const RunContext saved = tls_run_context;
-  tls_run_context = RunContext{this, s};
+  tls_run_context = RunContext{this, s, lanes_[lane].get()};
   try {
     shards_[s]->sim.run_before(end);
   } catch (...) {
@@ -149,7 +155,7 @@ void ShardedSimulator::run_sequential() {
     if (done_.load(std::memory_order_relaxed)) return;
     const SimTime end = window_end_.load(std::memory_order_relaxed);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      run_shard_window(s, end);
+      run_shard_window(s, end, 0);
     }
   }
 }
@@ -157,10 +163,14 @@ void ShardedSimulator::run_sequential() {
 void ShardedSimulator::run_parallel() {
   const std::size_t nthreads = threads_;
   std::barrier<> gate(static_cast<std::ptrdiff_t>(nthreads));
+  // Thread t owns lane t for the whole run; shard s always runs on thread
+  // s mod nthreads, so a shard's messages ride the same lane every window
+  // (the merge sorts by the message's own key, so this matters only for
+  // cache locality, never for results).
   auto stripe = [&](std::size_t tid) {
     const SimTime end = window_end_.load(std::memory_order_relaxed);
     for (std::size_t s = tid; s < shards_.size(); s += nthreads) {
-      run_shard_window(s, end);
+      run_shard_window(s, end, tid);
     }
   };
   std::vector<std::thread> pool;
@@ -207,13 +217,19 @@ void ShardedSimulator::run() {
 
 std::uint64_t ShardedSimulator::messages() const {
   std::uint64_t total = 0;
-  for (const auto& m : mailboxes_) total += m->total_messages();
+  for (const auto& s : shards_) total += s->post_seq;
   return total;
 }
 
 std::uint64_t ShardedSimulator::mailbox_spills() const {
   std::uint64_t total = 0;
-  for (const auto& m : mailboxes_) total += m->overflow_spills();
+  for (const auto& l : lanes_) total += l->overflow_spills();
+  return total;
+}
+
+std::size_t ShardedSimulator::mailbox_state_bytes() const {
+  std::size_t total = 0;
+  for (const auto& l : lanes_) total += l->state_bytes();
   return total;
 }
 

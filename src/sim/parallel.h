@@ -16,19 +16,23 @@
 // Within a window every shard executes only its own events, so shards
 // share no mutable state and need no locks. A cross-shard interaction is
 // an explicit `post(from, to, t, action)` with t >= now(from) + L; the
-// message rides a single-producer/single-consumer mailbox dedicated to the
-// (from, to) pair and is drained at the window barrier. Conservative
-// correctness: a receiver executes events strictly before T + L, and any
-// message produced during the window carries t >= sender_now + L >= T + L,
-// so no shard can ever receive an event in its past.
+// message rides the single-producer/single-consumer lane owned by the
+// worker thread executing the posting shard (one lane per thread, not one
+// mailbox per shard pair — see sim/mailbox.h) and is drained at the window
+// barrier. Conservative correctness: a receiver executes events strictly
+// before T + L, and any message produced during the window carries
+// t >= sender_now + L >= T + L, so no shard can ever receive an event in
+// its past.
 //
 // Determinism: the barrier merge is canonical — pending messages are
-// sorted by (time, source shard, mailbox sequence) before being enqueued
-// on the destination, so destination tie-breaking sequence numbers are
-// assigned in an order independent of thread count or completion order.
-// Together with the per-shard deterministic queues this makes a run with
-// `threads = N` byte-identical to `threads = 1` (which executes the exact
-// same window/merge schedule sequentially).
+// sorted by (destination, time, source shard, source sequence) before
+// being enqueued on the destination, so destination tie-breaking sequence
+// numbers are assigned in an order independent of thread count, of lane
+// assignment, and of completion order. Together with the per-shard
+// deterministic queues this makes a run with `threads = N` byte-identical
+// to `threads = 1` (which executes the exact same window/merge schedule
+// sequentially). Only lane *spill counts* — a wall-clock-side metric —
+// vary with the thread count.
 #pragma once
 
 #include <atomic>
@@ -36,6 +40,7 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -55,7 +60,7 @@ struct ShardedConfig {
   /// Worker threads; 0 picks std::thread::hardware_concurrency(). The
   /// thread count never changes simulation results, only wall-clock time.
   std::size_t threads = 1;
-  /// Ring capacity of each (from, to) mailbox; bursts beyond it spill to a
+  /// Ring capacity of each per-thread lane; bursts beyond it spill to a
   /// producer-owned overflow vector (correct but allocating).
   std::size_t mailbox_capacity = 1024;
 };
@@ -85,26 +90,26 @@ class ShardedSimulator {
   /// window barrier, merged canonically by (time, source shard, seq).
   template <typename F>
   void post(std::size_t from, std::size_t to, SimTime t, F&& action) {
-    ECO_CHECK(from < shards_.size() && to < shards_.size());
-    ECO_CHECK_MSG(from != to,
-                  "same-shard events use shard(s).schedule_*, not post()");
-    check_post_context(from);
-    ECO_CHECK_MSG(t >= shards_[from]->sim.now() + config_.lookahead,
-                  "cross-shard event inside the lookahead window");
-    mailbox(from, to).push(t, std::forward<F>(action));
+    post_message(from, to, t, InlineAction(std::forward<F>(action)));
   }
 
-  /// Run windows until every shard queue and every mailbox is empty.
+  /// Run windows until every shard queue and every lane is empty.
   /// Rethrows the first (lowest shard id) exception an action threw.
   void run();
 
   // --- accounting ---------------------------------------------------------
   /// Synchronization windows executed so far.
   std::uint64_t windows() const { return windows_; }
-  /// Cross-shard messages routed through the mailboxes.
+  /// Cross-shard messages routed through the lanes (sum of the per-source
+  /// send counters — identical whatever the lane layout).
   std::uint64_t messages() const;
-  /// Messages that overflowed a mailbox ring into its spill vector.
+  /// Pushes that overflowed a lane ring into its spill vector. Lane load
+  /// depends on how many shards share a thread, so this varies with the
+  /// thread count (simulation results never do).
   std::uint64_t mailbox_spills() const;
+  /// Bytes of cross-shard buffering: the per-thread lane rings. O(threads ·
+  /// capacity), where the per-pair scheme was O(shards² · capacity).
+  std::size_t mailbox_state_bytes() const;
   /// Events retired across all shards.
   std::uint64_t events_processed() const;
   /// Frontier of simulated time: max over the shard clocks.
@@ -117,23 +122,25 @@ class ShardedSimulator {
   struct Shard {
     Simulator sim;
     std::exception_ptr error;
+    /// Messages this shard has posted — the `seq` of its next post and the
+    /// third key of the canonical merge order. Owned by whichever thread
+    /// is executing the shard's window (never two at once).
+    std::uint64_t post_seq = 0;
   };
 
-  SpscMailbox& mailbox(std::size_t from, std::size_t to) {
-    return *mailboxes_[from * shards_.size() + to];
-  }
-  const SpscMailbox& mailbox(std::size_t from, std::size_t to) const {
-    return *mailboxes_[from * shards_.size() + to];
-  }
+  /// The non-template body of post(): validates the calling context and
+  /// pushes the fully-tagged message into the executing thread's lane.
+  void post_message(std::size_t from, std::size_t to, SimTime t,
+                    InlineAction action);
 
-  /// Drain every mailbox in canonical merge order, then either publish the
+  /// Drain every lane in canonical merge order, then either publish the
   /// next window (window_end_) or set done_.
   void publish_window();
   void drain_mailboxes();
-  /// Execute shard `s`'s events strictly before `end`, with the post()
-  /// calling-context guard armed. Exceptions land in the shard's slot.
-  void run_shard_window(std::size_t s, SimTime end);
-  void check_post_context(std::size_t from) const;
+  /// Execute shard `s`'s events strictly before `end` with the post()
+  /// calling-context guard armed and `lanes_[lane]` as the outbox.
+  /// Exceptions land in the shard's slot.
+  void run_shard_window(std::size_t s, SimTime end, std::size_t lane);
   void rethrow_shard_error();
   void run_sequential();
   void run_parallel();
@@ -141,7 +148,7 @@ class ShardedSimulator {
   ShardedConfig config_;
   std::size_t threads_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;  // shards x shards
+  std::vector<std::unique_ptr<ShardLane>> lanes_;  // one per worker thread
 
   // Window state, written by the merge step and read by the window
   // workers. Synchronized by the window barrier; atomics keep every access
@@ -155,6 +162,7 @@ class ShardedSimulator {
   struct MergeItem {
     SimTime time;
     std::uint32_t src;
+    std::uint32_t dst;
     std::uint64_t seq;
     std::uint32_t pos;  // index into merge_msgs_
   };

@@ -54,37 +54,70 @@ PgasSystem::PgasSystem(PgasConfig config) : config_(config) {
   }
   network_ = std::make_unique<Network>(make_tree(radices), net_cfg);
 
+  // Pooled lazy state (DESIGN.md §7.7): size the slot vectors but build
+  // nothing — caches, DRAM channels and coherence domains are constructed
+  // on first touch by cache_at/dram_at/domain_at, so untouched workers
+  // cost one null pointer each. Construction is purely functional (no
+  // timed side effects, thread-safe counter interning only), so the
+  // first-touch order never changes simulation results.
   const std::size_t total = worker_count();
-  caches_.reserve(total);
-  drams_.reserve(total);
+  caches_.resize(total);
+  drams_.resize(total);
   alloc_cursor_.assign(total, 0);
-  for (std::size_t i = 0; i < total; ++i) {
-    const WorkerCoord w = coord(i);
-    caches_.push_back(std::make_unique<Cache>(w.str() + ".l2", config_.cache));
-    drams_.push_back(
-        std::make_unique<DramChannel>(w.str() + ".dram", config_.dram));
-  }
   translator_ =
       std::make_unique<ProgressiveTranslator>(config_.translation_latencies);
   if (config_.scope == CoherenceScope::kGlobal) {
-    // The "cannot scale" baseline: one machine-wide snoop domain.
+    // The "cannot scale" baseline: one machine-wide snoop domain. It holds
+    // a pointer to every cache, so this scope is eager by construction —
+    // which is the point the baseline makes.
     std::vector<Cache*> all;
     all.reserve(total);
-    for (auto& c : caches_) all.push_back(c.get());
+    for (std::size_t i = 0; i < total; ++i) all.push_back(&cache_at(i));
     domains_.push_back(std::make_unique<CoherenceDomain>(
         std::move(all), CoherenceMode::kSnoopBroadcast));
     return;
   }
-  domains_.reserve(config_.nodes);
-  for (std::size_t n = 0; n < config_.nodes; ++n) {
+  domains_.resize(config_.nodes);
+}
+
+Cache& PgasSystem::cache_at(std::size_t flat_index) {
+  ECO_CHECK(flat_index < caches_.size());
+  auto& slot = caches_[flat_index];
+  if (slot == nullptr) {
+    slot = std::make_unique<Cache>(coord(flat_index).str() + ".l2",
+                                   config_.cache);
+  }
+  return *slot;
+}
+
+DramChannel& PgasSystem::dram_at(std::size_t flat_index) {
+  ECO_CHECK(flat_index < drams_.size());
+  auto& slot = drams_[flat_index];
+  if (slot == nullptr) {
+    slot = std::make_unique<DramChannel>(coord(flat_index).str() + ".dram",
+                                         config_.dram);
+  }
+  return *slot;
+}
+
+CoherenceDomain& PgasSystem::domain_at(NodeId node) {
+  if (config_.scope == CoherenceScope::kGlobal) return *domains_[0];
+  ECO_CHECK(node < domains_.size());
+  auto& slot = domains_[node];
+  if (slot == nullptr) {
+    // The domain snoops every cache of the node, so first touch of a node
+    // forces its workers_per_node caches — per-node, not per-machine.
     std::vector<Cache*> node_caches;
     node_caches.reserve(config_.workers_per_node);
     for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
-      node_caches.push_back(caches_[n * config_.workers_per_node + w].get());
+      node_caches.push_back(
+          &cache_at(static_cast<std::size_t>(node) * config_.workers_per_node +
+                    w));
     }
-    domains_.push_back(std::make_unique<CoherenceDomain>(
-        std::move(node_caches), config_.node_coherence));
+    slot = std::make_unique<CoherenceDomain>(std::move(node_caches),
+                                             config_.node_coherence);
   }
+  return *slot;
 }
 
 GlobalAddress PgasSystem::alloc(NodeId node, WorkerId worker, Bytes size) {
@@ -270,7 +303,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
       result.finish = d.finish;
       result.energy = d.energy;
     } else {
-      auto& domain = *domains_[owner];
+      auto& domain = domain_at(owner);
       const auto acc = write ? domain.write(who.worker, addr.raw())
                              : domain.read(who.worker, addr.raw());
       result.cache_hit = acc.hit;
@@ -422,14 +455,16 @@ MigrationResult PgasSystem::migrate_page(PageId page, NodeId dst,
   }
   // 1. Flush the old owner's cached lines of this page (UNIMEM: only the
   //    owner may have cached it). Cost: one invalidate walk + writebacks.
-  auto& old_domain = *domains_[*owner];
-  (void)old_domain;
+  //    A never-touched cache slot has nothing cached — skip it rather
+  //    than force its construction just to invalidate nothing.
   const std::size_t lines = kPageSize / config_.cache.line_size;
   std::uint64_t dirty = 0;
   for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
-    Cache& c = *caches_[static_cast<std::size_t>(*owner) *
-                            config_.workers_per_node +
-                        w];
+    const auto& slot =
+        caches_[static_cast<std::size_t>(*owner) * config_.workers_per_node +
+                w];
+    if (slot == nullptr) continue;
+    Cache& c = *slot;
     for (std::size_t l = 0; l < lines; ++l) {
       const std::uint64_t line =
           (static_cast<std::uint64_t>(page) << kPageShift) /

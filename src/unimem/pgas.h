@@ -176,9 +176,23 @@ class PgasSystem {
   const OwnershipDirectory& directory() const { return directory_; }
   OwnershipDirectory& directory() { return directory_; }
   Network& network() { return *network_; }
-  CoherenceDomain& node_domain(NodeId node) { return *domains_[node]; }
-  DramChannel& dram(WorkerCoord w) { return *drams_[flat(w)]; }
-  Cache& cache(WorkerCoord w) { return *caches_[flat(w)]; }
+  /// Per-node / per-worker state is pooled lazily (DESIGN.md §7.7): the
+  /// slot vectors are sized at construction but hold nulls until first
+  /// touch, so a 100k-worker machine pays 8 bytes per untouched worker.
+  /// These accessors construct on demand; construction is purely
+  /// functional (no timed side effects), so laziness never changes
+  /// simulation results.
+  CoherenceDomain& node_domain(NodeId node) { return domain_at(node); }
+  DramChannel& dram(WorkerCoord w) { return dram_at(flat(w)); }
+  Cache& cache(WorkerCoord w) { return cache_at(flat(w)); }
+
+  /// Worker slots whose cache/DRAM state has actually been built — the
+  /// pooling metric bench_scale tracks (untouched workers stay at 0).
+  std::size_t constructed_workers() const {
+    std::size_t n = 0;
+    for (const auto& c : caches_) n += c != nullptr;
+    return n;
+  }
 
   /// Promise that no future timed access is issued before `watermark`;
   /// prunes the retired past from every calendar resource (network links,
@@ -186,7 +200,9 @@ class PgasSystem {
   /// keep reserve() O(log live-intervals).
   void release(SimTime watermark) {
     network_->release(watermark);
-    for (auto& d : drams_) d->release(watermark);
+    for (auto& d : drams_) {
+      if (d != nullptr) d->release(watermark);
+    }
   }
 
   /// Conservative lookahead for sharding a simulation per Compute Node
@@ -225,6 +241,12 @@ class PgasSystem {
   MemAccess access(WorkerCoord who, GlobalAddress addr, Bytes size,
                    bool write, bool bulk, SimTime now);
   std::vector<std::uint8_t>& page_data(PageId page);
+
+  // Lazy slot constructors (see the public accessors). domain_at forces
+  // every cache of the node — the coherence domain holds raw pointers.
+  Cache& cache_at(std::size_t flat_index);
+  DramChannel& dram_at(std::size_t flat_index);
+  CoherenceDomain& domain_at(NodeId node);
 
   /// Dead-owner recovery: bounded timed-out retries against `page`'s
   /// (down) owning node, then ownership failover to a surviving node.

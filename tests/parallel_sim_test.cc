@@ -1,5 +1,5 @@
 // Tests for the sharded parallel simulation engine (sim/parallel.h):
-// SPSC mailbox FIFO + wraparound, the conservative post() contract, the
+// per-thread lane FIFO + wraparound, the conservative post() contract, the
 // canonical window merge, and — the load-bearing property — byte-identical
 // determinism across --sim-threads 1, 2 and 8, both for a raw engine
 // workload and for a mixed UNIMEM+UNILOGIC workload on ShardedRuntime.
@@ -43,49 +43,80 @@ struct TraceHasher {
   }
 };
 
-// --- SPSC mailbox -----------------------------------------------------------
+// --- per-thread SPSC lane ---------------------------------------------------
 
-TEST(SpscMailbox, FifoAcrossRingWraparound) {
-  SpscMailbox box(4);
-  ASSERT_EQ(box.capacity(), 4u);
+TEST(ShardLane, FifoAcrossRingWraparound) {
+  ShardLane lane(4);
+  ASSERT_EQ(lane.capacity(), 4u);
   std::vector<int> got;
   std::vector<ShardMessage> out;
   // 32 push/drain rounds of 3 messages wrap the 4-slot ring many times.
   for (int round = 0; round < 32; ++round) {
     for (int i = 0; i < 3; ++i) {
       const int v = round * 3 + i;
-      const std::uint64_t seq =
-          box.push(static_cast<SimTime>(v), [&got, v] { got.push_back(v); });
-      EXPECT_EQ(seq, static_cast<std::uint64_t>(v));
+      lane.push(static_cast<SimTime>(v), /*src=*/0, /*dst=*/1,
+                static_cast<std::uint64_t>(v),
+                [&got, v] { got.push_back(v); });
     }
     out.clear();
-    box.drain(out);
+    lane.drain(out);
     ASSERT_EQ(out.size(), 3u);
     for (auto& m : out) m.action();
   }
-  EXPECT_TRUE(box.empty());
-  EXPECT_EQ(box.overflow_spills(), 0u);
+  EXPECT_TRUE(lane.empty());
+  EXPECT_EQ(lane.overflow_spills(), 0u);
   ASSERT_EQ(got.size(), 96u);
   for (int v = 0; v < 96; ++v) EXPECT_EQ(got[v], v);
 }
 
-TEST(SpscMailbox, OverflowSpillKeepsFifoOrder) {
-  SpscMailbox box(4);
+TEST(ShardLane, OverflowSpillKeepsFifoOrder) {
+  ShardLane lane(4);
   std::vector<int> got;
   for (int v = 0; v < 10; ++v) {
-    box.push(static_cast<SimTime>(v), [&got, v] { got.push_back(v); });
+    lane.push(static_cast<SimTime>(v), 0, 1, static_cast<std::uint64_t>(v),
+              [&got, v] { got.push_back(v); });
   }
-  EXPECT_GT(box.overflow_spills(), 0u);
+  EXPECT_GT(lane.overflow_spills(), 0u);
   std::vector<ShardMessage> out;
-  box.drain(out);
+  lane.drain(out);
   ASSERT_EQ(out.size(), 10u);
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].seq, i);
     out[i].action();
   }
   for (int v = 0; v < 10; ++v) EXPECT_EQ(got[v], v);
-  EXPECT_TRUE(box.empty());
-  EXPECT_EQ(box.total_messages(), 10u);
+  EXPECT_TRUE(lane.empty());
+}
+
+// Lanes are shared by every shard a thread runs: messages for different
+// (src, dst) pairs interleave in one ring and must come back tagged and in
+// push order — the merge sort relies on the tags, not the lane layout.
+TEST(ShardLane, InterleavedShardPairsStayTaggedAndOrdered) {
+  ShardLane lane(8);
+  struct Tag {
+    std::uint32_t src, dst;
+    std::uint64_t seq;
+  };
+  std::vector<Tag> pushed;
+  std::vector<std::uint64_t> next_seq(4, 0);
+  for (int i = 0; i < 21; ++i) {  // > capacity, so the tail spills too
+    const auto src = static_cast<std::uint32_t>(i % 3);
+    const auto dst = static_cast<std::uint32_t>(3 - i % 3);
+    const std::uint64_t seq = next_seq[src]++;
+    pushed.push_back(Tag{src, dst, seq});
+    lane.push(static_cast<SimTime>(100 + i), src, dst, seq, [] {});
+  }
+  EXPECT_GT(lane.overflow_spills(), 0u);
+  std::vector<ShardMessage> out;
+  lane.drain(out);
+  ASSERT_EQ(out.size(), pushed.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].time, static_cast<SimTime>(100 + i));
+    EXPECT_EQ(out[i].src, pushed[i].src);
+    EXPECT_EQ(out[i].dst, pushed[i].dst);
+    EXPECT_EQ(out[i].seq, pushed[i].seq);
+  }
+  EXPECT_TRUE(lane.empty());
 }
 
 // --- post() contract --------------------------------------------------------
@@ -210,9 +241,11 @@ TEST(ShardedSimulator, ByteIdenticalAcrossSimThreads1_2_8) {
   EXPECT_EQ(h1, h8);
 }
 
-// Window-boundary mailbox stress: a 4-slot ring under a message rate far
+// Window-boundary lane stress: a 4-slot ring under a message rate far
 // beyond it wraps its indices every window and overflows constantly; the
-// spill path must preserve the canonical merge exactly.
+// spill path must preserve the canonical merge exactly. Spill *counts* are
+// a wall-clock-side metric that varies with how many shards share a lane
+// (i.e. with the thread count), so only the hashes must match.
 TEST(ShardedSimulator, MailboxWraparoundAtWindowBoundariesIsDeterministic) {
   std::uint64_t spills1 = 0;
   std::uint64_t spills4 = 0;
@@ -220,7 +253,7 @@ TEST(ShardedSimulator, MailboxWraparoundAtWindowBoundariesIsDeterministic) {
   const std::uint64_t h4 = mesh_workload_hash(4, 4, 4, 800, &spills4);
   EXPECT_EQ(h1, h4);
   EXPECT_GT(spills1, 0u);
-  EXPECT_EQ(spills1, spills4);
+  EXPECT_GT(spills4, 0u);
 }
 
 TEST(ShardedSimulator, ThreadsClampedToShardCount) {
