@@ -136,6 +136,9 @@ struct ShardedMeshResult {
   std::uint64_t hash = 0;     // combined per-shard hashes + engine counters
   std::size_t threads = 0;    // threads the window loop actually used
   double wall_s = 0.0;
+  std::uint64_t shard_windows = 0;  // per-shard executions across rounds
+  std::uint64_t stalled = 0;        // skipped shard-windows (barrier stall)
+  std::uint64_t steals = 0;         // cross-thread claims (wall-clock-side)
 };
 
 /// Cross-posting actor mesh on the ShardedSimulator: per-shard
@@ -151,6 +154,11 @@ ShardedMeshResult sharded_mesh(std::size_t shards, std::size_t threads,
   sc.lookahead = 200;
   sc.threads = threads;
   sc.mailbox_capacity = 256;
+  // Legacy regression lock: this table's committed baseline hash encodes
+  // the PR-5 fixed-window schedule (window count included), so it pins
+  // kFixedWindow forever. The adaptive engine is gated by the imbalanced
+  // scenario below.
+  sc.window_mode = WindowMode::kFixedWindow;
   ShardedSimulator engine(sc);
   std::vector<ShardHash> hashes(shards);
 
@@ -204,10 +212,139 @@ ShardedMeshResult sharded_mesh(std::size_t shards, std::size_t threads,
   r.windows = engine.windows();
   r.messages = engine.messages();
   r.threads = engine.threads_used();
+  r.shard_windows = engine.shard_windows();
+  r.stalled = engine.stalled_shard_windows();
+  r.steals = engine.steals();
   ShardHash combined;
   for (const auto& h : hashes) combined.mix(h.h);
   combined.mix(r.events);
   combined.mix(r.windows);
+  combined.mix(r.messages);
+  r.hash = combined.h;
+  return r;
+}
+
+// --- imbalanced topology: hot shard + periodic cold bursts ----------------
+
+struct ImbalancedMeshResult {
+  std::uint64_t events = 0;
+  std::uint64_t rounds = 0;          // engine synchronization rounds
+  std::uint64_t shard_windows = 0;   // per-shard window executions
+  std::uint64_t stalled = 0;         // shard-windows skipped (no work)
+  std::uint64_t steals = 0;          // wall-clock-side, not hashed
+  std::uint64_t messages = 0;
+  std::uint64_t hash = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double stall_frac() const {
+    const std::uint64_t total = shard_windows + stalled;
+    return total == 0 ? 0.0
+                      : static_cast<double>(stalled) / static_cast<double>(total);
+  }
+};
+
+/// The fixed-window engine's worst case (DESIGN.md §7.8): shard 0 fires
+/// continuously and holds the global floor, shards 1..63 wake in short
+/// synchronized bursts once per 20 us period and sleep in between. Fixed
+/// windows march every shard forward one lookahead (200 ns) at a time —
+/// 100 all-stall barrier rounds per quiet gap — while adaptive horizons
+/// let the hot shard cross each gap in a single fat window and the cold
+/// burst rounds spread over the worker threads via the steal queues.
+ImbalancedMeshResult imbalanced_mesh(WindowMode mode, std::size_t threads) {
+  constexpr std::size_t kShards = 64;
+  constexpr SimTime kPeriod = 20000;
+  constexpr int kEpochs = 60;
+  constexpr std::uint64_t kBurst = 16;
+  ShardedConfig sc;
+  sc.shards = kShards;
+  sc.lookahead = 200;
+  sc.threads = threads;
+  sc.mailbox_capacity = 1024;
+  sc.window_mode = mode;
+  ShardedSimulator engine(sc);
+  std::vector<ShardHash> hashes(kShards);
+
+  struct Hot {
+    ShardedSimulator* eng;
+    ShardHash* hashes;
+    SimTime stop_at;
+    Rng rng;
+    std::uint64_t fired = 0;
+    void fire() {
+      Simulator& sim = eng->shard(0);
+      hashes[0].mix(sim.now());
+      if (sim.now() >= stop_at) return;
+      if (++fired % 1024 == 0) {  // rare mid-gap wakeup of a cold shard
+        const std::size_t to = 1 + rng.uniform_u64(63);
+        ShardHash* hs = hashes;
+        ShardedSimulator* e = eng;
+        eng->post(0, to, sim.now() + 200 + rng.uniform_u64(100),
+                  [e, hs, to] { hs[to].mix(e->shard(to).now()); });
+      }
+      sim.schedule_after(1 + rng.uniform_u64(11), [this] { fire(); });
+    }
+  };
+  struct Cold {
+    ShardedSimulator* eng;
+    ShardHash* hashes;
+    std::size_t shard;
+    SimTime next_burst;
+    std::uint64_t burst_left = kBurst;
+    int epochs_left = kEpochs;
+    Rng rng;
+    void fire() {
+      Simulator& sim = eng->shard(shard);
+      hashes[shard].mix(sim.now());
+      if (burst_left > 0) {
+        --burst_left;
+        sim.schedule_after(1 + rng.uniform_u64(5), [this] { fire(); });
+        return;
+      }
+      // Burst done: one message to the next cold shard, then sleep until
+      // the next period boundary.
+      const std::size_t to = 1 + (shard % 63);
+      ShardHash* hs = hashes;
+      ShardedSimulator* e = eng;
+      eng->post(shard, to, sim.now() + 200 + rng.uniform_u64(50),
+                [e, hs, to] { hs[to].mix(e->shard(to).now()); });
+      if (--epochs_left <= 0) return;
+      next_burst += kPeriod;
+      burst_left = kBurst;
+      sim.schedule_at(next_burst, [this] { fire(); });
+    }
+  };
+
+  Hot hot{&engine, hashes.data(), kPeriod * kEpochs, Rng(0x4077)};
+  engine.shard(0).schedule_at(1, [&hot] { hot.fire(); });
+  std::vector<Cold> colds;
+  colds.reserve(kShards - 1);
+  for (std::size_t s = 1; s < kShards; ++s) {
+    colds.push_back(Cold{&engine, hashes.data(), s,
+                         static_cast<SimTime>(100 + s * 3), kBurst, kEpochs,
+                         Rng(0xC01D + s)});
+  }
+  for (auto& c : colds) {
+    Cold* self = &c;
+    engine.shard(c.shard).schedule_at(c.next_burst, [self] { self->fire(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  ImbalancedMeshResult r;
+  r.wall_s = seconds_since(t0);
+  r.events = engine.events_processed();
+  r.rounds = engine.windows();
+  r.shard_windows = engine.shard_windows();
+  r.stalled = engine.stalled_shard_windows();
+  r.steals = engine.steals();
+  r.messages = engine.messages();
+  r.threads = engine.threads_used();
+  ShardHash combined;
+  for (const auto& h : hashes) combined.mix(h.h);
+  combined.mix(r.events);
+  combined.mix(r.rounds);
+  combined.mix(r.shard_windows);
+  combined.mix(r.stalled);  // deterministic: derived from published state
   combined.mix(r.messages);
   r.hash = combined.h;
   return r;
@@ -334,6 +471,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- imbalanced topology: adaptive lookahead vs fixed windows -----------
+  // 1 hot shard + 63 periodic-burst cold shards, both window modes, run
+  // sequentially and at --sim-threads. Deterministic columns (events,
+  // rounds, shard windows, messages, hash) are identical across thread
+  // counts — enforced in-binary below — and the rounds / stall-% contrast
+  // is the adaptive engine's acceptance metric: fixed windows burn ~100
+  // all-stall barrier rounds per quiet gap, adaptive crosses each gap in
+  // one window, so the parallel run stops being barrier-bound.
+  imbalanced_mesh(WindowMode::kAdaptive, 1);  // warm-up
+  const auto fix_seq = imbalanced_mesh(WindowMode::kFixedWindow, 1);
+  const auto fix_par =
+      imbalanced_mesh(WindowMode::kFixedWindow, bench::sim_threads());
+  const auto ada_seq = imbalanced_mesh(WindowMode::kAdaptive, 1);
+  const auto ada_par =
+      imbalanced_mesh(WindowMode::kAdaptive, bench::sim_threads());
+  const bool imb_hashes_match =
+      fix_seq.hash == fix_par.hash && ada_seq.hash == ada_par.hash;
+  const double fix_speedup = fix_seq.wall_s / fix_par.wall_s;
+  const double ada_speedup = ada_seq.wall_s / ada_par.wall_s;
+  const double improvement = ada_speedup / fix_speedup;
+  Table imb({"mode", "threads", "events", "rounds", "shard windows",
+             "stall %", "messages", "events/sec", "hash"});
+  const auto imb_row = [&imb](const char* name,
+                              const ImbalancedMeshResult& r) {
+    imb.add_row({name, fmt_u64(r.threads) + "t", fmt_u64(r.events),
+                 fmt_u64(r.rounds), fmt_u64(r.shard_windows),
+                 fmt_pct(r.stall_frac()), fmt_u64(r.messages),
+                 fmt_sci(static_cast<double>(r.events) / r.wall_s, 3),
+                 fmt_u64(r.hash)});
+  };
+  imb_row("fixed/seq", fix_seq);
+  imb_row("fixed/par", fix_par);
+  imb_row("adaptive/seq", ada_seq);
+  imb_row("adaptive/par", ada_par);
+  bench::print_table(
+      imb,
+      "imbalanced mesh, 1 hot + 63 burst-idle shards (adaptive horizons\n"
+      "cross the quiet gaps in one round; hashes must match within each\n"
+      "mode across thread counts):");
+  std::cout << "imbalanced speedup: fixed " << fmt_ratio(fix_speedup)
+            << ", adaptive " << fmt_ratio(ada_speedup) << " ("
+            << fmt_ratio(improvement) << " better; stall "
+            << fmt_pct(fix_seq.stall_frac()) << " -> "
+            << fmt_pct(ada_seq.stall_frac()) << ", steals "
+            << fmt_u64(ada_par.steals) << ")\n\n";
+  if (!imb_hashes_match) {
+    std::cerr << "FATAL: imbalanced-mesh hash mismatch across thread "
+                 "counts (fixed " << fix_seq.hash << " vs " << fix_par.hash
+              << ", adaptive " << ada_seq.hash << " vs " << ada_par.hash
+              << ")\n";
+    return 1;
+  }
+  if (ada_seq.rounds * 4 >= fix_seq.rounds) {
+    std::cerr << "FATAL: adaptive horizons stopped collapsing quiet gaps ("
+              << ada_seq.rounds << " rounds vs fixed " << fix_seq.rounds
+              << ")\n";
+    return 1;
+  }
+
   // --- machine-readable summary ------------------------------------------
   std::cout << "SIMCORE_JSON {"
             << "\"ring_events_per_sec\": " << ring.events_per_sec
@@ -349,6 +545,21 @@ int main(int argc, char** argv) {
             << ", \"sharded_events_per_sec_nt\": " << par_eps
             << ", \"sharded_threads\": " << par.threads
             << ", \"sharded_hash_match\": " << (hashes_match ? 1 : 0)
+            << ", \"sharded_windows_executed\": " << par.shard_windows
+            << ", \"sharded_barrier_stall_pct\": "
+            << 100.0 * static_cast<double>(par.stalled) /
+                   static_cast<double>(par.shard_windows + par.stalled)
+            << ", \"sharded_steals\": " << par.steals
+            << ", \"imb_fixed_speedup\": " << fix_speedup
+            << ", \"imb_adaptive_speedup\": " << ada_speedup
+            << ", \"imb_speedup_improvement\": " << improvement
+            << ", \"imb_fixed_stall_pct\": " << 100.0 * fix_seq.stall_frac()
+            << ", \"imb_adaptive_stall_pct\": "
+            << 100.0 * ada_seq.stall_frac()
+            << ", \"imb_rounds_fixed\": " << fix_seq.rounds
+            << ", \"imb_rounds_adaptive\": " << ada_seq.rounds
+            << ", \"imb_steals\": " << ada_par.steals
+            << ", \"imb_hash_match\": " << (imb_hashes_match ? 1 : 0)
             << "}\n";
   return 0;
 }

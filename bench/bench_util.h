@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -193,14 +194,33 @@ inline void print_table(const Table& table, const std::string& caption = "") {
 // --- parallel sweep runner --------------------------------------------------
 
 /// Thread count for the sharded parallel simulation engine
-/// (ShardedSimulator / ShardedRuntime): --sim-threads flag, else
-/// ECOSCALE_SIM_THREADS, else 1 (0 means hardware concurrency). Unlike
+/// (ShardedSimulator / ShardedRuntime): ECOSCALE_SIM_THREADS, else the
+/// --sim-threads flag, else 1 (0 means hardware concurrency). Unlike
 /// sweep_threads() this defaults to sequential — the engine's results are
 /// thread-count-invariant, so perf runs opt in explicitly.
+/// A malformed env value ("four", "4x", "", out of range) used to parse as
+/// 0 and silently fall back to the flag — a perf run believing itself
+/// parallel would quietly measure the serial engine. Now it warns on
+/// stderr and pins 1 thread so the mistake is visible and the measurement
+/// is at least honestly labelled serial.
 inline std::size_t sim_threads() {
   if (const char* env = std::getenv("ECOSCALE_SIM_THREADS")) {
-    const auto n = std::strtoul(env, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
+    bool digits = *env != '\0';
+    for (const char* p = env; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      errno = 0;
+      const unsigned long n = std::strtoul(env, nullptr, 10);
+      if (errno == 0) return static_cast<std::size_t>(n);
+    }
+    std::cerr << "bench: malformed ECOSCALE_SIM_THREADS=\"" << env
+              << "\" (want a non-negative thread count; 0 = hardware); "
+                 "falling back to 1 sim thread\n";
+    return 1;
   }
   return options().sim_threads;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/reduce.h"
 #include "interconnect/topology.h"
 
 namespace ecoscale {
@@ -30,6 +31,24 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeConfig config)
   sc.lookahead = std::max<SimDuration>(internode_->min_cross_latency(0), 1);
   sc.threads = config_.threads;
   sc.mailbox_capacity = config_.mailbox_capacity;
+  sc.window_mode = config_.adaptive_windows ? WindowMode::kAdaptive
+                                            : WindowMode::kFixedWindow;
+  // Per-pair lookahead straight from the interconnect: route_latency is a
+  // shortest-path metric (triangle inequality holds), which is what the
+  // adaptive engine's relayed-causality argument needs, and post_task
+  // already charges exactly this latency, so the per-pair post contract is
+  // met with zero slack. The LCA walk is mutation-free (implicit routing
+  // is ECO_CHECKed above), so shard threads may query it concurrently.
+  Network* net = internode_.get();
+  sc.pair_lookahead = [net](std::size_t from, std::size_t to) {
+    return net->route_latency(from, to);
+  };
+  // Past the dense pair-matrix cap the engine falls back to per-source
+  // floors; hand it the per-endpoint tree DP. (Called at engine
+  // construction only — single-threaded, the lazy cache build is safe.)
+  sc.source_floor = [net](std::size_t from) {
+    return net->min_latency_from(from, 0);
+  };
   engine_ = std::make_unique<ShardedSimulator>(sc);
 
   nodes_.reserve(n);
@@ -80,17 +99,31 @@ void ShardedRuntime::run() {
 }
 
 ShardedRuntime::Stats ShardedRuntime::stats() const {
-  Stats s;
-  for (const auto& node : nodes_) {
-    const RuntimeStats rs = node.runtime->stats();
-    s.makespan = std::max(s.makespan, rs.makespan);
-    s.energy += node.machine->total_energy();
-    s.tasks += node.runtime->results().size();
-  }
+  // Balanced-tree fold over nodes (common/reduce.h): the energy sum is
+  // floating point, and the tree shape — hence its rounding — depends only
+  // on the node count, never on who asks or how many threads ran.
+  Stats s = reduce_tree<Stats>(
+      nodes_.size(), Stats{},
+      [&](std::size_t i) {
+        Stats leaf;
+        leaf.makespan = nodes_[i].runtime->stats().makespan;
+        leaf.energy = nodes_[i].machine->total_energy();
+        leaf.tasks = nodes_[i].runtime->results().size();
+        return leaf;
+      },
+      [](Stats a, Stats b) {
+        a.makespan = std::max(a.makespan, b.makespan);
+        a.energy += b.energy;
+        a.tasks += b.tasks;
+        return a;
+      });
   s.cross_posts = engine_->messages();
   s.events = engine_->events_processed();
   s.windows = engine_->windows();
   s.mailbox_spills = engine_->mailbox_spills();
+  s.shard_windows = engine_->shard_windows();
+  s.stalled_shard_windows = engine_->stalled_shard_windows();
+  s.steals = engine_->steals();
   return s;
 }
 

@@ -43,6 +43,12 @@ struct ShardedRuntimeConfig {
   /// only wall-clock time: --sim-threads N is byte-identical to 1.
   std::size_t threads = 1;
   std::size_t mailbox_capacity = 1024;
+  /// Adaptive per-shard windows (sim/parallel.h WindowMode::kAdaptive):
+  /// each node's horizon comes from the interconnect's per-pair head
+  /// latencies (route_latency is a metric, so the adaptive engine's
+  /// relay-safety requirement holds by construction) instead of one global
+  /// min-latency window. Off = the legacy fixed-window schedule.
+  bool adaptive_windows = true;
   /// Template for each node's machine; nodes is forced to 1 (the shard IS
   /// the node) and workers_per_node to the field above. The PGAS l1 link
   /// parameters double as the inter-node links of the forwarding network.
@@ -107,9 +113,19 @@ class ShardedRuntime {
     std::uint64_t tasks = 0;       // task results across nodes
     std::uint64_t cross_posts = 0; // mailbox messages (forwards + posts)
     std::uint64_t events = 0;      // simulator events, all shards
-    std::uint64_t windows = 0;     // engine synchronization windows
+    std::uint64_t windows = 0;     // engine synchronization rounds
     std::uint64_t mailbox_spills = 0;
+    /// Per-shard window executions / skips across all rounds (a skip is a
+    /// shard whose horizon held no work — the barrier-stall metric) and
+    /// cross-thread shard-window steals (wall-clock-side only; see
+    /// sim/parallel.h).
+    std::uint64_t shard_windows = 0;
+    std::uint64_t stalled_shard_windows = 0;
+    std::uint64_t steals = 0;
   };
+  /// Folded over nodes with a deterministic balanced reduction tree
+  /// (common/reduce.h), so the energy sum's floating-point rounding is a
+  /// pure function of the node count.
   Stats stats() const;
 
  private:

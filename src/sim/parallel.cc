@@ -2,20 +2,33 @@
 
 #include <algorithm>
 #include <barrier>
-#include <limits>
 #include <thread>
 
+#include "common/reduce.h"
 #include "obs/trace.h"
 
 namespace ecoscale {
 
+class RoundGate {
+ public:
+  explicit RoundGate(std::ptrdiff_t n) : barrier_(n) {}
+  void sync() { barrier_.arrive_and_wait(); }
+
+ private:
+  std::barrier<> barrier_;
+};
+
 namespace {
 
-/// Interned names for the engine's own trace lanes (per-window span plus a
-/// drained-messages counter track).
+/// Interned names for the engine's own trace lane: a span per
+/// synchronization round plus cumulative counter tracks for merged
+/// messages, horizon stalls and work steals (README "sim.stall /
+/// sim.steal" — stalls are deterministic, steals wall-clock-side).
 struct ParTraceNames {
-  CounterId window = CounterRegistry::intern("psim.window");
-  CounterId messages = CounterRegistry::intern("psim.messages");
+  CounterId window = CounterRegistry::intern("sim.window");
+  CounterId messages = CounterRegistry::intern("sim.messages");
+  CounterId stall = CounterRegistry::intern("sim.stall");
+  CounterId steal = CounterRegistry::intern("sim.steal");
 };
 [[maybe_unused]] const ParTraceNames& par_trace_names() {
   static const ParTraceNames names;
@@ -36,9 +49,38 @@ struct RunContext {
 };
 thread_local RunContext tls_run_context;
 
+/// Canonical merge order: by destination, then (time, source shard, send
+/// sequence). The destination queue assigns its tie-breaking sequence
+/// numbers in this order, so execution is independent of thread count, of
+/// which lane a message rode, of stealing, and of the order the producing
+/// shards happened to finish their windows. (src, seq) is unique, so the
+/// key is a total order and no stable sort/merge is needed.
+struct MergeKeyLess {
+  template <typename Item>
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.time != b.time) return a.time < b.time;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
+};
+
+/// Fold one (value, shard) candidate into a top-2-with-argmin accumulator.
+inline void fold_top2(SimTime cand, std::uint32_t arg, SimTime& best1,
+                      SimTime& best2, std::uint32_t& best_arg) {
+  if (cand < best1) {
+    best2 = best1;
+    best1 = cand;
+    best_arg = arg;
+  } else if (cand < best2) {
+    best2 = cand;
+  }
+}
+
 }  // namespace
 
-ShardedSimulator::ShardedSimulator(ShardedConfig config) : config_(config) {
+ShardedSimulator::ShardedSimulator(ShardedConfig config)
+    : config_(std::move(config)) {
   ECO_CHECK_MSG(config_.shards >= 1, "need at least one shard");
   ECO_CHECK_MSG(config_.lookahead >= 1,
                 "conservative lookahead must be positive");
@@ -48,16 +90,78 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config) : config_(config) {
     threads = hw > 0 ? hw : 1;
   }
   threads_ = std::min(threads, config_.shards);
-  shards_.reserve(config_.shards);
-  for (std::size_t s = 0; s < config_.shards; ++s) {
+  const std::size_t nshards = config_.shards;
+  shards_.reserve(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     // Lane 0 stays the classic single-engine lane; shard s gets lane s+1.
     shards_.back()->sim.set_trace_lane(static_cast<std::uint16_t>(s + 1));
   }
   lanes_.reserve(threads_);
+  slots_.reserve(threads_);
   for (std::size_t t = 0; t < threads_; ++t) {
     lanes_.push_back(std::make_unique<ShardLane>(config_.mailbox_capacity));
+    slots_.push_back(std::make_unique<WorkerSlot>());
   }
+  next_times_.assign(nshards, kNever);
+
+  // Per-pair latency state. With an oracle and a modest shard count,
+  // materialize the dense matrix (exact per-destination column minima);
+  // above the cap keep only per-source floors so construction and memory
+  // stay O(shards) at 6k+ shards.
+  source_floor_.assign(nshards, config_.lookahead);
+  if (config_.pair_lookahead && nshards > 1) {
+    if (nshards <= config_.dense_pair_cap) {
+      pair_matrix_.assign(nshards * nshards, 0);
+      for (std::size_t s = 0; s < nshards; ++s) {
+        SimDuration floor = kNever;
+        for (std::size_t d = 0; d < nshards; ++d) {
+          if (s == d) continue;
+          const SimDuration l = config_.pair_lookahead(s, d);
+          ECO_CHECK_MSG(l >= 1,
+                        "zero-latency cross-shard pair cannot be sharded "
+                        "conservatively");
+          pair_matrix_[s * nshards + d] = l;
+          floor = std::min(floor, static_cast<SimTime>(l));
+        }
+        source_floor_[s] = floor;
+      }
+      // The adaptive bound is transitively safe only for metric oracles
+      // (see parallel.h); spot-check sampled triples so a non-metric
+      // oracle fails loudly at construction, not silently in a window.
+      const std::size_t step = std::max<std::size_t>(1, nshards / 24);
+      for (std::size_t a = 0; a < nshards; a += step) {
+        for (std::size_t b = 0; b < nshards; b += step) {
+          for (std::size_t c = 0; c < nshards; c += step) {
+            if (a == b || b == c || a == c) continue;
+            ECO_CHECK_MSG(pair_matrix_[a * nshards + c] <=
+                              pair_matrix_[a * nshards + b] +
+                                  pair_matrix_[b * nshards + c],
+                          "pair_lookahead violates the triangle inequality "
+                          "(adaptive windows need a route-metric oracle)");
+          }
+        }
+      }
+    } else if (config_.source_floor) {
+      for (std::size_t s = 0; s < nshards; ++s) {
+        const SimDuration f = config_.source_floor(s);
+        ECO_CHECK_MSG(f >= 1, "source_floor must be a positive latency");
+        source_floor_[s] = f;
+      }
+    }
+    // else: the uniform lookahead floors already in place — a correct
+    // lower bound on every pair by the lookahead contract.
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+SimDuration ShardedSimulator::pair_lookahead(std::size_t from,
+                                             std::size_t to) const {
+  ECO_CHECK(from < shards_.size() && to < shards_.size() && from != to);
+  if (!pair_matrix_.empty()) return pair_matrix_[from * shards_.size() + to];
+  if (config_.pair_lookahead) return config_.pair_lookahead(from, to);
+  return config_.lookahead;
 }
 
 void ShardedSimulator::post_message(std::size_t from, std::size_t to,
@@ -69,61 +173,18 @@ void ShardedSimulator::post_message(std::size_t from, std::size_t to,
                 "post() called outside a running shard action");
   ECO_CHECK_MSG(tls_run_context.shard == from,
                 "post() `from` must be the shard executing this action");
-  ECO_CHECK_MSG(t >= shards_[from]->sim.now() + config_.lookahead,
-                "cross-shard event inside the lookahead window");
+  SimDuration bound = pair_lookahead(from, to);
+  if (config_.window_mode == WindowMode::kFixedWindow) {
+    // Fixed horizons are uniform-lookahead wide whatever the pair's own
+    // distance, so the uniform contract must hold as well.
+    bound = std::max(bound, config_.lookahead);
+  }
+  ECO_CHECK_MSG(t >= shards_[from]->sim.now() + bound,
+                "cross-shard event inside the conservative lookahead window");
   Shard& src = *shards_[from];
   tls_run_context.lane->push(t, static_cast<std::uint32_t>(from),
                              static_cast<std::uint32_t>(to), src.post_seq++,
                              std::move(action));
-}
-
-void ShardedSimulator::drain_mailboxes() {
-  merge_msgs_.clear();
-  merge_order_.clear();
-  for (auto& lane : lanes_) lane->drain(merge_msgs_);
-  if (merge_msgs_.empty()) return;
-  for (std::size_t i = 0; i < merge_msgs_.size(); ++i) {
-    const ShardMessage& m = merge_msgs_[i];
-    merge_order_.push_back(MergeItem{m.time, m.src, m.dst, m.seq,
-                                     static_cast<std::uint32_t>(i)});
-  }
-  // Canonical merge order: by destination, then (time, source shard, send
-  // sequence). The destination queue assigns its tie-breaking sequence
-  // numbers in this order, so execution is independent of thread count, of
-  // which lane a message rode, and of the order the producing shards
-  // happened to finish their windows. (src, seq) is unique, so the key is
-  // a total order and no stable sort is needed.
-  std::sort(merge_order_.begin(), merge_order_.end(),
-            [](const MergeItem& a, const MergeItem& b) {
-              if (a.dst != b.dst) return a.dst < b.dst;
-              if (a.time != b.time) return a.time < b.time;
-              if (a.src != b.src) return a.src < b.src;
-              return a.seq < b.seq;
-            });
-  for (const MergeItem& item : merge_order_) {
-    shards_[item.dst]->sim.schedule_at(item.time,
-                                       std::move(merge_msgs_[item.pos].action));
-  }
-}
-
-void ShardedSimulator::publish_window() {
-  rethrow_shard_error();
-  drain_mailboxes();
-  constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
-  SimTime next = kNever;
-  for (const auto& s : shards_) {
-    if (!s->sim.idle()) next = std::min(next, s->sim.next_event_time());
-  }
-  if (next == kNever) {
-    done_.store(true, std::memory_order_relaxed);
-    return;
-  }
-  const SimTime end = next + config_.lookahead;
-  ECO_TRACE_SPAN(obs::Cat::kSim, par_trace_names().window,
-                 (obs::Lane{obs::kSimPid, kEngineTid}), next, end,
-                 windows_);
-  window_end_.store(end, std::memory_order_relaxed);
-  ++windows_;
 }
 
 void ShardedSimulator::run_shard_window(std::size_t s, SimTime end,
@@ -149,66 +210,284 @@ void ShardedSimulator::rethrow_shard_error() {
   }
 }
 
-void ShardedSimulator::run_sequential() {
-  for (;;) {
-    publish_window();
-    if (done_.load(std::memory_order_relaxed)) return;
-    const SimTime end = window_end_.load(std::memory_order_relaxed);
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      run_shard_window(s, end, 0);
+SimTime ShardedSimulator::shard_horizon(std::size_t d) const {
+  switch (config_.window_mode) {
+    case WindowMode::kFixedWindow:
+      return plan_fixed_end_;
+    case WindowMode::kAdaptive:
+      break;
+  }
+  if (!pair_matrix_.empty()) {
+    // Exact column minimum over the dense pair matrix: the earliest any
+    // peer's pending work could reach d.
+    const std::size_t n = shards_.size();
+    SimTime best = kNever;
+    for (std::size_t s = 0; s < n; ++s) {
+      const SimTime next = next_times_[s];
+      if (s == d || next == kNever) continue;
+      best = std::min(best, next + pair_matrix_[s * n + d]);
     }
+    return best;
+  }
+  // Collapsed horizon from the planner's top-2 of next_s + source_floor_s:
+  // min over s != d in O(1). source_floor <= L(s, d) for every d, so this
+  // is a (possibly looser, never unsafe) bound.
+  return plan_src_arg_ == d ? plan_src2_ : plan_src1_;
+}
+
+void ShardedSimulator::prepare_run() {
+  done_.store(false, std::memory_order_relaxed);
+  trace_prev_valid_ = false;
+  const std::size_t nshards = shards_.size();
+  const std::size_t nthreads = threads_;
+  // Pre-reserve every per-round buffer so the steady state allocates
+  // nothing (sim_alloc_test gates this at --sim-threads > 1): the drain
+  // scratch holds one lane, a merge buffer holds as many runs as reach its
+  // slot in the reduction tree (slot 0's final run holds everything).
+  std::size_t padded = 1;
+  while (padded < nthreads) padded <<= 1;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    WorkerSlot& slot = *slots_[t];
+    const std::size_t cap = lanes_[t]->capacity();
+    slot.msgs.clear();
+    slot.msgs.reserve(cap);
+    const std::size_t reach = t == 0 ? padded : (t & (~t + 1));
+    slot.run_a.reserve(reach * cap);
+    slot.run_b.reserve(reach * cap);
+    slot.run = &slot.run_a;
+    const std::size_t lo = t * nshards / nthreads;
+    const std::size_t hi = (t + 1) * nshards / nthreads;
+    slot.queue.reserve(hi - lo);
+  }
+  // Seed next-event times, ready queues and fold partials — the same scan
+  // the fold phase performs at every round boundary.
+  for (std::size_t t = 0; t < nthreads; ++t) fold_range(t);
+}
+
+void ShardedSimulator::fold_range(std::size_t tid) {
+  WorkerSlot& me = *slots_[tid];
+  const std::size_t nshards = shards_.size();
+  const std::size_t lo = tid * nshards / threads_;
+  const std::size_t hi = (tid + 1) * nshards / threads_;
+  me.queue.clear();
+  me.part_floor = kNever;
+  me.part_src1 = kNever;
+  me.part_src2 = kNever;
+  me.part_src_arg = 0;
+  for (std::size_t d = lo; d < hi; ++d) {
+    const Simulator& sim = shards_[d]->sim;
+    const SimTime next = sim.idle() ? kNever : sim.next_event_time();
+    next_times_[d] = next;
+    if (next == kNever) continue;
+    me.queue.push_back(static_cast<std::uint32_t>(d));
+    me.part_floor = std::min(me.part_floor, next);
+    fold_top2(next + source_floor_[d], static_cast<std::uint32_t>(d),
+              me.part_src1, me.part_src2, me.part_src_arg);
+  }
+  me.cursor.store(0, std::memory_order_relaxed);
+}
+
+void ShardedSimulator::plan_round() {
+  rethrow_shard_error();
+  // Fold the per-thread partials: O(threads) here instead of the old
+  // O(shards) worker-0 rescan — the top of the next-event reduction tree.
+  SimTime floor = kNever;
+  SimTime src1 = kNever, src2 = kNever;
+  std::uint32_t src_arg = 0;
+  SimTime round_min_horizon = kNever;
+  for (auto& slot_ptr : slots_) {
+    WorkerSlot& slot = *slot_ptr;
+    floor = std::min(floor, slot.part_floor);
+    fold_top2(slot.part_src1, slot.part_src_arg, src1, src2, src_arg);
+    src2 = std::min(src2, slot.part_src2);
+    shard_windows_ += slot.executed;
+    stalled_windows_ += slot.stalled;
+    steals_ += slot.stolen;
+    slot.executed = 0;
+    slot.stalled = 0;
+    slot.stolen = 0;
+    round_min_horizon = std::min(round_min_horizon, slot.min_horizon);
+    slot.min_horizon = kNever;
+  }
+  if (trace_prev_valid_) {
+    // The span for the round that just completed: [its floor, the tightest
+    // horizon any shard ran to). Counters are cumulative tracks.
+    const SimTime span_end = round_min_horizon == kNever
+                                 ? trace_prev_floor_ + 1
+                                 : round_min_horizon;
+    ECO_TRACE_SPAN(obs::Cat::kSim, par_trace_names().window,
+                   (obs::Lane{obs::kSimPid, kEngineTid}), trace_prev_floor_,
+                   span_end, windows_ - 1);
+    ECO_TRACE_COUNTER(obs::Cat::kSim, par_trace_names().messages,
+                      (obs::Lane{obs::kSimPid, kEngineTid}),
+                      trace_prev_floor_, messages());
+    ECO_TRACE_COUNTER(obs::Cat::kSim, par_trace_names().stall,
+                      (obs::Lane{obs::kSimPid, kEngineTid}),
+                      trace_prev_floor_, stalled_windows_);
+    if (threads_ > 1) {
+      ECO_TRACE_COUNTER(obs::Cat::kSim, par_trace_names().steal,
+                        (obs::Lane{obs::kSimPid, kEngineTid}),
+                        trace_prev_floor_, steals_);
+    }
+  }
+  if (floor == kNever) {
+    done_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  plan_floor_ = floor;
+  plan_fixed_end_ = floor + config_.lookahead;
+  plan_src1_ = src1;
+  plan_src2_ = src2;
+  plan_src_arg_ = src_arg;
+  trace_prev_valid_ = true;
+  trace_prev_floor_ = floor;
+  ++windows_;
+}
+
+void ShardedSimulator::execute_round(std::size_t tid) {
+  WorkerSlot& me = *slots_[tid];
+  const std::size_t nthreads = threads_;
+  // Claim shard windows: own queue first, then sweep the other queues
+  // round-robin. Queues are fixed for the round, so one sweep claims
+  // every candidate exactly once (atomic cursor bump), and whichever
+  // thread claims a shard never affects results — only which lane its
+  // messages ride, which the canonical merge washes out.
+  for (std::size_t v = 0; v < nthreads; ++v) {
+    WorkerSlot& q = *slots_[(tid + v) % nthreads];
+    const bool stolen = v != 0;
+    for (;;) {
+      const std::uint32_t idx =
+          q.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= q.queue.size()) break;
+      const std::size_t d = q.queue[idx];
+      const SimTime horizon = shard_horizon(d);
+      me.min_horizon = std::min(me.min_horizon, horizon);
+      if (stolen) ++me.stolen;
+      if (horizon > next_times_[d]) {
+        ++me.executed;
+        run_shard_window(d, horizon, tid);
+      } else {
+        // Pending work the horizon forbade: a barrier stall. Deterministic
+        // (horizons derive from published simulation state only).
+        ++me.stalled;
+      }
+    }
+  }
+  // Drain this thread's lane and sort it into a merge run — the leaves of
+  // the message reduction tree.
+  me.msgs.clear();
+  lanes_[tid]->drain(me.msgs);
+  std::vector<MergeItem>& run = me.run_a;
+  run.clear();
+  me.run = &run;
+  for (std::size_t i = 0; i < me.msgs.size(); ++i) {
+    const ShardMessage& m = me.msgs[i];
+    run.push_back(MergeItem{m.time, m.src, m.dst, m.seq,
+                            static_cast<std::uint32_t>(tid),
+                            static_cast<std::uint32_t>(i)});
+  }
+  std::sort(run.begin(), run.end(), MergeKeyLess{});
+}
+
+void ShardedSimulator::merge_runs(std::size_t tid, RoundGate* gate) {
+  // Pairwise tree merge of the per-thread sorted runs: level k merges
+  // slots 2^k apart, so after log2(threads) levels slot 0 holds the one
+  // canonically-ordered run. Each level is a disjoint set of two-run
+  // merges running in parallel; the level barrier publishes the children.
+  const std::size_t nthreads = threads_;
+  for (std::size_t half = 1; half < nthreads; half <<= 1) {
+    if (tid % (2 * half) == 0 && tid + half < nthreads) {
+      WorkerSlot& a = *slots_[tid];
+      WorkerSlot& b = *slots_[tid + half];
+      std::vector<MergeItem>& out =
+          a.run == &a.run_a ? a.run_b : a.run_a;
+      out.resize(a.run->size() + b.run->size());
+      std::merge(a.run->begin(), a.run->end(), b.run->begin(), b.run->end(),
+                 out.begin(), MergeKeyLess{});
+      a.run = &out;
+    }
+    if (gate) gate->sync();
+  }
+}
+
+void ShardedSimulator::insert_and_fold(std::size_t tid, std::size_t total) {
+  const std::size_t nshards = shards_.size();
+  const std::size_t lo = tid * nshards / threads_;
+  const std::size_t hi = (tid + 1) * nshards / threads_;
+  if (total > 0) {
+    // The final run is sorted by destination first: each thread binary-
+    // searches its contiguous destination range and inserts in canonical
+    // order, so destination seq numbers come out thread-count invariant.
+    const std::vector<MergeItem>& run = *slots_[0]->run;
+    const auto dst_less = [](const MergeItem& m, std::size_t d) {
+      return m.dst < d;
+    };
+    const auto begin =
+        std::lower_bound(run.begin(), run.end(), lo, dst_less);
+    const auto end = std::lower_bound(begin, run.end(), hi, dst_less);
+    for (auto it = begin; it != end; ++it) {
+      shards_[it->dst]->sim.schedule_at(
+          it->time, std::move(slots_[it->lane]->msgs[it->pos].action));
+    }
+  }
+  fold_range(tid);
+}
+
+void ShardedSimulator::drive(std::size_t tid, RoundGate* gate,
+                             std::exception_ptr* failure) {
+  // Round schedule (barriers in parallel runs only):
+  //   plan (worker 0) | gate | execute | gate | tree merge (log2 gates)
+  //   insert + fold | gate | next plan ...
+  for (;;) {
+    if (tid == 0) {
+      if (failure != nullptr) {
+        try {
+          plan_round();
+        } catch (...) {
+          *failure = std::current_exception();
+          done_.store(true, std::memory_order_relaxed);
+        }
+      } else {
+        plan_round();
+      }
+    }
+    if (gate) gate->sync();  // plan published (or done)
+    if (done_.load(std::memory_order_relaxed)) return;
+    execute_round(tid);
+    if (gate) gate->sync();  // every run sorted, every window finished
+    // Sum lane sizes from msgs, not the run pointers: a fast thread may
+    // already be inside merge_runs() swapping run pointers while a slow
+    // one is still counting, but msgs is only ever written by its owner
+    // on the other side of the gate above (the counts are equal — a run
+    // starts as one item per drained message).
+    std::size_t total = 0;
+    for (const auto& slot : slots_) total += slot->msgs.size();
+    if (total > 0) merge_runs(tid, gate);
+    insert_and_fold(tid, total);
+    if (gate) gate->sync();  // partials published for the next plan
   }
 }
 
 void ShardedSimulator::run_parallel() {
-  const std::size_t nthreads = threads_;
-  std::barrier<> gate(static_cast<std::ptrdiff_t>(nthreads));
-  // Thread t owns lane t for the whole run; shard s always runs on thread
-  // s mod nthreads, so a shard's messages ride the same lane every window
-  // (the merge sorts by the message's own key, so this matters only for
-  // cache locality, never for results).
-  auto stripe = [&](std::size_t tid) {
-    const SimTime end = window_end_.load(std::memory_order_relaxed);
-    for (std::size_t s = tid; s < shards_.size(); s += nthreads) {
-      run_shard_window(s, end, tid);
-    }
-  };
+  RoundGate gate(static_cast<std::ptrdiff_t>(threads_));
   std::vector<std::thread> pool;
-  pool.reserve(nthreads - 1);
-  for (std::size_t t = 1; t < nthreads; ++t) {
-    pool.emplace_back([&, t] {
-      for (;;) {
-        gate.arrive_and_wait();  // window published (or done)
-        if (done_.load(std::memory_order_relaxed)) return;
-        stripe(t);
-        gate.arrive_and_wait();  // window complete
-      }
-    });
+  pool.reserve(threads_ - 1);
+  for (std::size_t t = 1; t < threads_; ++t) {
+    pool.emplace_back([this, t, &gate] { drive(t, &gate, nullptr); });
   }
-  // The calling thread is worker 0 and runs the merge step between
-  // windows; publish_window() may throw a shard's rethrown exception, so
-  // workers must still be released to exit before we propagate it.
+  // The calling thread is worker 0 and runs the planner between rounds;
+  // plan_round() may rethrow a shard's exception, so workers must still be
+  // released to exit before we propagate it.
   std::exception_ptr failure;
-  for (;;) {
-    try {
-      publish_window();
-    } catch (...) {
-      failure = std::current_exception();
-      done_.store(true, std::memory_order_relaxed);
-    }
-    gate.arrive_and_wait();
-    if (done_.load(std::memory_order_relaxed)) break;
-    stripe(0);
-    gate.arrive_and_wait();
-  }
+  drive(0, &gate, &failure);
   for (auto& t : pool) t.join();
   if (failure) std::rethrow_exception(failure);
 }
 
 void ShardedSimulator::run() {
-  done_.store(false, std::memory_order_relaxed);
+  prepare_run();
   if (threads_ <= 1 || shards_.size() == 1) {
-    run_sequential();
+    drive(0, nullptr, nullptr);
   } else {
     run_parallel();
   }
@@ -216,9 +495,10 @@ void ShardedSimulator::run() {
 }
 
 std::uint64_t ShardedSimulator::messages() const {
-  std::uint64_t total = 0;
-  for (const auto& s : shards_) total += s->post_seq;
-  return total;
+  return reduce_tree<std::uint64_t>(
+      shards_.size(), 0,
+      [&](std::size_t s) { return shards_[s]->post_seq; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 std::uint64_t ShardedSimulator::mailbox_spills() const {
@@ -234,21 +514,24 @@ std::size_t ShardedSimulator::mailbox_state_bytes() const {
 }
 
 std::uint64_t ShardedSimulator::events_processed() const {
-  std::uint64_t total = 0;
-  for (const auto& s : shards_) total += s->sim.events_processed();
-  return total;
+  return reduce_tree<std::uint64_t>(
+      shards_.size(), 0,
+      [&](std::size_t s) { return shards_[s]->sim.events_processed(); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 SimTime ShardedSimulator::now() const {
-  SimTime best = 0;
-  for (const auto& s : shards_) best = std::max(best, s->sim.now());
-  return best;
+  return reduce_tree<SimTime>(
+      shards_.size(), 0,
+      [&](std::size_t s) { return shards_[s]->sim.now(); },
+      [](SimTime a, SimTime b) { return std::max(a, b); });
 }
 
 std::uint64_t ShardedSimulator::shard_wall_time_ns() const {
-  std::uint64_t total = 0;
-  for (const auto& s : shards_) total += s->sim.wall_time_ns();
-  return total;
+  return reduce_tree<std::uint64_t>(
+      shards_.size(), 0,
+      [&](std::size_t s) { return shards_[s]->sim.wall_time_ns(); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 }  // namespace ecoscale

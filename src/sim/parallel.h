@@ -8,37 +8,70 @@
 // ShardedSimulator gives every Compute Node (or any caller-chosen
 // partition) its own event queue (a full `Simulator` with its slab, 4-ary
 // heap and sorted-run backlog) and advances the shards concurrently inside
-// synchronization windows:
+// synchronization rounds. Two window policies (WindowMode):
 //
-//   window = [T, T + L)   where T = min next event time over all shards
-//                         and   L = lookahead (min cross-shard latency)
+//   kFixedWindow   every shard runs to the same global horizon
+//                      end = T + L,  T = min next event over all shards,
+//                                    L = uniform lookahead
+//                  — the PR-5 engine, kept as the baseline-locked mode.
 //
-// Within a window every shard executes only its own events, so shards
-// share no mutable state and need no locks. A cross-shard interaction is
-// an explicit `post(from, to, t, action)` with t >= now(from) + L; the
-// message rides the single-producer/single-consumer lane owned by the
-// worker thread executing the posting shard (one lane per thread, not one
-// mailbox per shard pair — see sim/mailbox.h) and is drained at the window
-// barrier. Conservative correctness: a receiver executes events strictly
-// before T + L, and any message produced during the window carries
-// t >= sender_now + L >= T + L, so no shard can ever receive an event in
-// its past.
+//   kAdaptive      each shard d runs to its own horizon
+//                      end_d = min over s != d of next_s + L(s, d)
+//                  where L(s, d) is a per-pair latency oracle (defaulting
+//                  to the uniform lookahead). Loosely-coupled shards run
+//                  long windows while tightly-coupled ones stay
+//                  conservative; the shard holding the global minimum is
+//                  excluded from its own bound, so a hot shard is never
+//                  throttled by itself and cold peers don't spin through
+//                  empty windows behind it.
 //
-// Determinism: the barrier merge is canonical — pending messages are
-// sorted by (destination, time, source shard, source sequence) before
-// being enqueued on the destination, so destination tie-breaking sequence
-// numbers are assigned in an order independent of thread count, of lane
-// assignment, and of completion order. Together with the per-shard
-// deterministic queues this makes a run with `threads = N` byte-identical
-// to `threads = 1` (which executes the exact same window/merge schedule
-// sequentially). Only lane *spill counts* — a wall-clock-side metric —
-// vary with the thread count.
+// Conservative correctness of the adaptive bound: any future event on d
+// has a causal chain starting from some currently-pending event on a shard
+// s (time >= next_s) and every cross-shard leg of the chain pays its pair
+// latency, so with a triangle-inequality oracle (any route/shortest-path
+// latency is one) the chain reaches d no earlier than next_s + L(s, d)
+// >= end_d. Messages posted during a round are merged at the round
+// boundary, before any horizon is recomputed.
+//
+// Scheduling: shards are claimed from per-thread ready queues with
+// work stealing — a thread that drains its own stripe steals windows from
+// a loaded peer, so shards >> threads no longer serializes behind the
+// static stripe. Claiming is an atomic cursor bump per queue (the queues
+// are pre-populated each round, so the classic Chase-Lev push/steal races
+// don't arise). Which thread runs a window never affects results: the
+// shard's trace lane and post() sequence counter travel with the shard,
+// and the merge key orders messages independently of the lane they rode.
+//
+// Merging: cross-shard messages and the per-shard next-event times are
+// combined by reduction trees instead of a worker-0 serial loop. Each
+// thread sorts its own lane's messages into a run; runs are merged
+// pairwise over log2(threads) levels (each level merges two already-sorted
+// children); the final run is partitioned by destination and inserted by
+// all threads in parallel. The per-shard next-event scan folds the same
+// way: each thread publishes a partial min over its contiguous shard
+// range, and the round planner combines O(threads) partials instead of
+// rescanning O(shards).
+//
+// Determinism: the merge is canonical — messages sort by (destination,
+// time, source shard, source sequence), a total order — so destination
+// tie-breaking sequence numbers are assigned in an order independent of
+// thread count, lane assignment, stealing, and completion order. Horizons
+// are computed only from the published next-event times (deterministic
+// simulation state), so the window schedule itself is thread-count
+// invariant and a run with `threads = N` is byte-identical to
+// `threads = 1` within a given WindowMode. Only lane *spill counts* and
+// the *steal count* — wall-clock-side metrics — vary with the thread
+// count. The two modes execute different (both deterministic) window
+// schedules and may diverge on simultaneous-event tie-breaks, which is why
+// baseline-locked benches pin kFixedWindow.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -50,12 +83,30 @@
 
 namespace ecoscale {
 
+/// Thin wrapper over std::barrier<> (defined in parallel.cc so includers
+/// don't pull in <barrier>). Null gate = sequential run, no waiting.
+class RoundGate;
+
+/// How the engine computes each shard's per-round execution horizon.
+enum class WindowMode {
+  /// Per-shard horizons from the per-pair latency oracle (see file
+  /// comment). The default: strictly more progress per round on
+  /// imbalanced topologies, deterministic across thread counts.
+  kAdaptive,
+  /// One global horizon `min next event + lookahead` for every shard —
+  /// the PR-5 window schedule, byte-identical to the engine before
+  /// adaptive windows existed. Committed bench baselines pin this mode.
+  kFixedWindow,
+};
+
 struct ShardedConfig {
   /// Number of event-queue shards (typically one per Compute Node).
   std::size_t shards = 1;
-  /// Conservative lookahead: the minimum sim-time distance of any
-  /// cross-shard interaction. Derive it from the interconnect
-  /// (Network::min_cross_group_latency / PgasSystem::shard_lookahead).
+  /// Conservative uniform lookahead: a lower bound on the sim-time
+  /// distance of *any* cross-shard interaction. Derive it from the
+  /// interconnect (Network::min_cross_latency / PgasSystem::
+  /// shard_lookahead). Used directly by kFixedWindow and as the
+  /// default pair latency when no oracle is given.
   SimDuration lookahead = nanoseconds(100);
   /// Worker threads; 0 picks std::thread::hardware_concurrency(). The
   /// thread count never changes simulation results, only wall-clock time.
@@ -63,16 +114,40 @@ struct ShardedConfig {
   /// Ring capacity of each per-thread lane; bursts beyond it spill to a
   /// producer-owned overflow vector (correct but allocating).
   std::size_t mailbox_capacity = 1024;
+  WindowMode window_mode = WindowMode::kAdaptive;
+  /// Optional per-pair latency oracle L(from, to), e.g. a captured
+  /// Network::route_latency. Must be >= 1 for every pair and satisfy the
+  /// triangle inequality L(a, c) <= L(a, b) + L(b, c) — true for any
+  /// route/shortest-path latency (sampled triples are checked at
+  /// construction). Tightens both the adaptive horizons and the post()
+  /// contract. Unset: the uniform `lookahead` stands in for every pair.
+  std::function<SimDuration(std::size_t from, std::size_t to)> pair_lookahead;
+  /// Optional per-source floor min over d != s of L(s, d) (e.g.
+  /// Network::min_latency_from). Only consulted when `pair_lookahead` is
+  /// set but the shard count exceeds `dense_pair_cap`; below the cap the
+  /// floor is derived from the dense matrix.
+  std::function<SimDuration(std::size_t from)> source_floor;
+  /// Shard count up to which the pair oracle is materialized as a dense
+  /// matrix (O(shards^2) construction + memory; horizons then take exact
+  /// per-destination column minima). Above it the engine falls back to
+  /// per-source floors — still adaptive, O(shards) state — so a
+  /// 6k-shard machine never pays a 36M-entry matrix.
+  std::size_t dense_pair_cap = 512;
 };
 
 class ShardedSimulator {
  public:
   explicit ShardedSimulator(ShardedConfig config);
+  ~ShardedSimulator();
 
   std::size_t shard_count() const { return shards_.size(); }
   SimDuration lookahead() const { return config_.lookahead; }
+  WindowMode window_mode() const { return config_.window_mode; }
   /// Threads the window loop will actually use (clamped to shard count).
   std::size_t threads_used() const { return threads_; }
+  /// The conservative latency bound post() enforces for this pair — the
+  /// dense matrix entry, the oracle, or the uniform lookahead.
+  SimDuration pair_lookahead(std::size_t from, std::size_t to) const;
 
   /// Shard-local event queue. Schedule setup events here before run(), or
   /// same-shard events from inside one of the shard's own actions. NEVER
@@ -85,24 +160,38 @@ class ShardedSimulator {
 
   /// Deliver `action` on shard `to` at absolute time `t`, called from
   /// inside an action currently executing on shard `from`. Requires
-  /// t >= now(from) + lookahead — the conservative contract that keeps
-  /// windows race-free. Messages become destination events at the next
-  /// window barrier, merged canonically by (time, source shard, seq).
+  /// t >= now(from) + pair_lookahead(from, to) — the conservative contract
+  /// that keeps windows race-free (kFixedWindow additionally requires the
+  /// uniform lookahead). Messages become destination events at the next
+  /// round boundary, merged canonically by (time, source shard, seq).
   template <typename F>
   void post(std::size_t from, std::size_t to, SimTime t, F&& action) {
     post_message(from, to, t, InlineAction(std::forward<F>(action)));
   }
 
-  /// Run windows until every shard queue and every lane is empty.
+  /// Run rounds until every shard queue and every lane is empty.
   /// Rethrows the first (lowest shard id) exception an action threw.
   void run();
 
   // --- accounting ---------------------------------------------------------
-  /// Synchronization windows executed so far.
+  // The first four are deterministic (thread-count invariant); spills and
+  // steals are wall-clock-side.
+  /// Synchronization rounds executed so far.
   std::uint64_t windows() const { return windows_; }
+  /// (shard, round) pairs that retired at least one event — "windows
+  /// executed". windows() * shard_count() minus this minus the stalls is
+  /// the idle balance.
+  std::uint64_t shard_windows() const { return shard_windows_; }
+  /// (shard, round) pairs where a shard had a pending event but its
+  /// horizon forbade running it — the barrier-stall numerator. Adaptive
+  /// windows exist to shrink this.
+  std::uint64_t stalled_shard_windows() const { return stalled_windows_; }
   /// Cross-shard messages routed through the lanes (sum of the per-source
   /// send counters — identical whatever the lane layout).
   std::uint64_t messages() const;
+  /// Shard windows claimed by a thread other than the queue owner's.
+  /// Wall-clock-side: depends on thread timing, never on results.
+  std::uint64_t steals() const { return steals_; }
   /// Pushes that overflowed a lane ring into its spill vector. Lane load
   /// depends on how many shards share a thread, so this varies with the
   /// thread count (simulation results never do).
@@ -119,6 +208,8 @@ class ShardedSimulator {
   std::uint64_t shard_wall_time_ns() const;
 
  private:
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
   struct Shard {
     Simulator sim;
     std::exception_ptr error;
@@ -128,46 +219,116 @@ class ShardedSimulator {
     std::uint64_t post_seq = 0;
   };
 
+  /// One sorted-run entry of the canonical merge: the full merge key plus
+  /// where the message body lives (producing lane, index in that lane's
+  /// drain scratch).
+  struct MergeItem {
+    SimTime time;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t seq;
+    std::uint32_t lane;
+    std::uint32_t pos;
+  };
+
+  /// Per-worker-thread state: the round's ready queue (candidates from the
+  /// thread's contiguous shard range; any thread may claim from it), the
+  /// lane-drain scratch and merge-run ping-pong buffers, deterministic
+  /// per-round tallies and the fold partials the planner combines.
+  struct alignas(64) WorkerSlot {
+    // Ready queue for the round; claimed via `cursor` (atomic bump — the
+    // queues are pre-populated at the previous round boundary, so no
+    // concurrent push ever races a steal).
+    std::vector<std::uint32_t> queue;
+    std::atomic<std::uint32_t> cursor{0};
+    // This thread's lane, drained and sorted into a run each round.
+    std::vector<ShardMessage> msgs;
+    std::vector<MergeItem> run_a, run_b;
+    std::vector<MergeItem>* run = nullptr;
+    // Deterministic per-round tallies (zeroed by the planner after
+    // folding) plus the wall-clock-side steal count.
+    std::uint64_t executed = 0;
+    std::uint64_t stalled = 0;
+    std::uint64_t stolen = 0;
+    SimTime min_horizon = kNever;  // trace span end for the round
+    // Fold partials over the thread's contiguous shard range: min next
+    // event time, and top-2 (value, runner-up, argmin) of
+    // next + source_floor for the collapsed adaptive horizon.
+    SimTime part_floor = kNever;
+    SimTime part_src1 = kNever;
+    SimTime part_src2 = kNever;
+    std::uint32_t part_src_arg = 0;
+  };
+
   /// The non-template body of post(): validates the calling context and
   /// pushes the fully-tagged message into the executing thread's lane.
   void post_message(std::size_t from, std::size_t to, SimTime t,
                     InlineAction action);
 
-  /// Drain every lane in canonical merge order, then either publish the
-  /// next window (window_end_) or set done_.
-  void publish_window();
-  void drain_mailboxes();
   /// Execute shard `s`'s events strictly before `end` with the post()
   /// calling-context guard armed and `lanes_[lane]` as the outbox.
   /// Exceptions land in the shard's slot.
   void run_shard_window(std::size_t s, SimTime end, std::size_t lane);
   void rethrow_shard_error();
-  void run_sequential();
+
+  // --- round phases (see parallel.cc for the barrier schedule) ----------
+  /// Reset per-run state: pre-reserve every merge/drain/queue buffer from
+  /// the lane capacities (steady state allocates nothing) and seed the
+  /// next-event times, ready queues and fold partials.
+  void prepare_run();
+  /// Worker 0 between rounds: fold the per-thread partials (O(threads),
+  /// replacing the old O(shards) rescan), emit the previous round's trace
+  /// span/counters, publish the next round's horizons or done.
+  void plan_round();
+  /// Claim shards (own queue, then steal), run their windows, then drain
+  /// and sort this thread's lane into a merge run.
+  void execute_round(std::size_t tid);
+  /// Pairwise-merge the sorted runs over log2(threads) levels.
+  void merge_runs(std::size_t tid, RoundGate* gate);
+  /// Insert this thread's destination-partition of the final run, refresh
+  /// its shards' next-event times, rebuild its ready queue and partials.
+  void insert_and_fold(std::size_t tid, std::size_t total);
+  void fold_range(std::size_t tid);
+  /// The per-shard execution horizon for this round (see WindowMode).
+  SimTime shard_horizon(std::size_t d) const;
+  /// One worker's whole round loop; `gate` is null in sequential runs and
+  /// `failure` non-null only on parallel worker 0 (plan_round may throw).
+  void drive(std::size_t tid, RoundGate* gate, std::exception_ptr* failure);
   void run_parallel();
 
   ShardedConfig config_;
   std::size_t threads_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ShardLane>> lanes_;  // one per worker thread
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
 
-  // Window state, written by the merge step and read by the window
-  // workers. Synchronized by the window barrier; atomics keep every access
-  // visibly race-free under TSan as well.
-  std::atomic<SimTime> window_end_{0};
+  // Per-pair latency state: dense matrix (shards <= dense_pair_cap with an
+  // oracle) and the per-source floors used by the collapsed horizon.
+  std::vector<SimDuration> pair_matrix_;  // shards x shards, row = source
+  std::vector<SimDuration> source_floor_;
+  // Published next event time per shard (kNever = idle). Written only by
+  // the shard-range owner in the fold phase, read by everyone in the next
+  // execute phase; the round barriers order the two.
+  std::vector<SimTime> next_times_;
+
+  // Round plan, published by worker 0 and read by all workers after the
+  // plan barrier (plain fields; the barrier provides the happens-before).
+  SimTime plan_floor_ = 0;       // min next event over all shards
+  SimTime plan_fixed_end_ = 0;   // kFixedWindow horizon
+  SimTime plan_src1_ = kNever;   // top-2 of next_s + source_floor_[s]
+  SimTime plan_src2_ = kNever;
+  std::uint32_t plan_src_arg_ = 0;
   std::atomic<bool> done_{false};
 
-  std::uint64_t windows_ = 0;
+  // Worker-0-only trace bookkeeping: the previous round's span is emitted
+  // one plan later, when its min horizon has been folded.
+  bool trace_prev_valid_ = false;
+  SimTime trace_prev_floor_ = 0;
 
-  // Merge scratch, reused across windows (no steady-state allocation).
-  struct MergeItem {
-    SimTime time;
-    std::uint32_t src;
-    std::uint32_t dst;
-    std::uint64_t seq;
-    std::uint32_t pos;  // index into merge_msgs_
-  };
-  std::vector<ShardMessage> merge_msgs_;
-  std::vector<MergeItem> merge_order_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t shard_windows_ = 0;
+  std::uint64_t stalled_windows_ = 0;
+  std::uint64_t steals_ = 0;
 };
 
 }  // namespace ecoscale

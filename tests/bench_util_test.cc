@@ -99,6 +99,66 @@ TEST(SweepThreads, FlagBeatsEnvBeatsHardware) {
   EXPECT_GE(bench::sweep_threads(), 1u);
 }
 
+/// RAII set/restore of ECOSCALE_SIM_THREADS around a test body.
+struct SimThreadsEnvGuard {
+  explicit SimThreadsEnvGuard(const char* value) {
+    const char* old = std::getenv("ECOSCALE_SIM_THREADS");
+    if (old != nullptr) saved = old;
+    had = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("ECOSCALE_SIM_THREADS", value, 1);
+    } else {
+      ::unsetenv("ECOSCALE_SIM_THREADS");
+    }
+  }
+  ~SimThreadsEnvGuard() {
+    if (had) {
+      ::setenv("ECOSCALE_SIM_THREADS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("ECOSCALE_SIM_THREADS");
+    }
+  }
+  std::string saved;
+  bool had = false;
+};
+
+TEST(SimThreads, ValidEnvOverridesFlag) {
+  OptionsGuard guard;
+  bench::options().sim_threads = 2;
+  SimThreadsEnvGuard env("8");
+  EXPECT_EQ(bench::sim_threads(), 8u);
+}
+
+TEST(SimThreads, ZeroEnvMeansHardwarePick) {
+  OptionsGuard guard;
+  bench::options().sim_threads = 2;
+  SimThreadsEnvGuard env("0");
+  // 0 is valid and documented: the engine resolves it to hardware
+  // concurrency, so the helper must pass it through, not drop it.
+  EXPECT_EQ(bench::sim_threads(), 0u);
+}
+
+TEST(SimThreads, UnsetEnvFallsBackToFlag) {
+  OptionsGuard guard;
+  bench::options().sim_threads = 3;
+  SimThreadsEnvGuard env(nullptr);
+  EXPECT_EQ(bench::sim_threads(), 3u);
+}
+
+TEST(SimThreads, MalformedEnvWarnsAndPinsOneThread) {
+  OptionsGuard guard;
+  bench::options().sim_threads = 7;  // must NOT silently win
+  for (const char* bad : {"four", "4x", "", " 4", "-1", "0x10",
+                          "99999999999999999999999999"}) {
+    SimThreadsEnvGuard env(bad);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(bench::sim_threads(), 1u) << "env was \"" << bad << "\"";
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("malformed ECOSCALE_SIM_THREADS"), std::string::npos)
+        << "env was \"" << bad << "\"";
+  }
+}
+
 TEST(JsonDump, RecordedTablesFlushAsJson) {
   OptionsGuard guard;
   const std::string path =

@@ -265,6 +265,211 @@ TEST(ShardedSimulator, ThreadsClampedToShardCount) {
   EXPECT_EQ(engine.threads_used(), 2u);
 }
 
+// --- per-pair post contract -------------------------------------------------
+
+TEST(ShardedSimulator, PerPairContractUsesTheOracle) {
+  ShardedConfig sc;
+  sc.shards = 3;
+  sc.lookahead = 10;
+  // A metric: 50 on the (0,1) edge, 300 elsewhere. Triangle inequality
+  // holds (300 <= 50 + 300), which the engine spot-checks at construction.
+  sc.pair_lookahead = [](std::size_t from, std::size_t to) -> SimDuration {
+    return (from == 0 && to == 1) ? 50 : 300;
+  };
+  ShardedSimulator engine(sc);
+  EXPECT_EQ(engine.pair_lookahead(0, 1), 50);
+  EXPECT_EQ(engine.pair_lookahead(1, 0), 300);
+  EXPECT_EQ(engine.pair_lookahead(0, 2), 300);
+  // A post riding the cheap pair is legal right at its bound...
+  engine.shard(0).schedule_at(5, [&engine] {
+    engine.post(0, 1, engine.shard(0).now() + 50, [] {});
+  });
+  engine.run();
+  EXPECT_EQ(engine.messages(), 1u);
+  // ...but the same delay toward an expensive pair is a contract breach.
+  ShardedSimulator strict(sc);
+  strict.shard(0).schedule_at(5, [&strict] {
+    strict.post(0, 2, strict.shard(0).now() + 299, [] {});
+  });
+  EXPECT_THROW(strict.run(), CheckError);
+}
+
+TEST(ShardedSimulator, FixedModeRaisesThePairBoundToTheGlobalWindow) {
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.lookahead = 100;
+  sc.window_mode = WindowMode::kFixedWindow;
+  sc.pair_lookahead = [](std::size_t, std::size_t) -> SimDuration {
+    return 50;
+  };
+  ShardedSimulator engine(sc);
+  // The legacy engine's invariant is "nothing lands inside the global
+  // window", so in kFixedWindow the contract is max(pair, lookahead).
+  engine.shard(0).schedule_at(5, [&engine] {
+    engine.post(0, 1, engine.shard(0).now() + 50, [] {});
+  });
+  EXPECT_THROW(engine.run(), CheckError);
+}
+
+TEST(ShardedSimulator, TriangleInequalityViolationIsRejected) {
+  ShardedConfig sc;
+  sc.shards = 3;
+  sc.lookahead = 10;
+  // 0->2 direct (500) costs more than relaying via 1 (10 + 10): a relayed
+  // event could outrun the direct bound, so construction must refuse.
+  sc.pair_lookahead = [](std::size_t from, std::size_t to) -> SimDuration {
+    return (from == 0 && to == 2) ? 500 : 10;
+  };
+  EXPECT_THROW(ShardedSimulator{sc}, CheckError);
+}
+
+// --- imbalanced topology: one hot shard, many cold burst shards -------------
+
+// The fixed-window engine's worst case: shard 0 fires continuously (it
+// holds the global floor), while shards 1..N-1 wake only in short
+// synchronized bursts once per period and sit idle in between. Fixed
+// windows march the whole machine forward one lookahead at a time, so the
+// cold shards stall at (periods / lookahead) barriers per period; adaptive
+// horizons let the hot shard cross an entire quiet gap in one window.
+struct HotActor {
+  ShardedSimulator* eng = nullptr;
+  std::size_t shards = 0;
+  TraceHasher* hash = nullptr;
+  SimTime stop_at = 0;
+  Rng rng{0};
+
+  void fire() {
+    Simulator& sim = eng->shard(0);
+    hash->mix(sim.now());
+    if (sim.now() >= stop_at) return;
+    if (rng.uniform_u64(256) == 0 && shards > 1) {
+      const std::size_t to = 1 + rng.uniform_u64(shards - 1);
+      ShardedSimulator* e = eng;
+      eng->post(0, to, sim.now() + 200 + rng.uniform_u64(100),
+                [e, to] { /* wake the cold shard mid-gap */
+                          (void)e->shard(to).now(); });
+    }
+    sim.schedule_after(1 + rng.uniform_u64(13), [this] { fire(); });
+  }
+};
+
+struct ColdActor {
+  ShardedSimulator* eng = nullptr;
+  std::size_t shard = 0;
+  std::size_t shards = 0;
+  TraceHasher* hashes = nullptr;
+  SimTime period = 0;
+  std::uint64_t burst = 0;
+  std::uint64_t burst_left = 0;
+  int epochs_left = 0;
+  SimTime next_burst = 0;
+  Rng rng{0};
+
+  void fire() {
+    Simulator& sim = eng->shard(shard);
+    hashes[shard].mix(sim.now());
+    if (burst_left > 0) {
+      --burst_left;
+      sim.schedule_after(1 + rng.uniform_u64(5), [this] { fire(); });
+      return;
+    }
+    // Burst over: hand one message to the next cold shard, then sleep
+    // until the next period boundary.
+    const std::size_t to = 1 + (shard % (shards - 1));
+    TraceHasher* dest = &hashes[to];
+    ShardedSimulator* e = eng;
+    eng->post(shard, to, sim.now() + 200 + rng.uniform_u64(50),
+              [e, to, dest] { dest->mix(e->shard(to).now()); });
+    if (--epochs_left <= 0) return;
+    next_burst += period;
+    burst_left = burst;
+    sim.schedule_at(next_burst, [this] { fire(); });
+  }
+};
+
+struct ImbalancedResult {
+  std::uint64_t hash = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t shard_windows = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t steals = 0;
+};
+
+ImbalancedResult imbalanced_run(WindowMode mode, std::size_t threads) {
+  constexpr std::size_t kShards = 64;  // shards >> threads: claim queues
+  constexpr SimTime kPeriod = 20000;
+  constexpr int kEpochs = 6;
+  ShardedConfig sc;
+  sc.shards = kShards;
+  sc.lookahead = 200;
+  sc.threads = threads;
+  sc.window_mode = mode;
+  ShardedSimulator engine(sc);
+  std::vector<TraceHasher> hashes(kShards);
+  HotActor hot;
+  hot.eng = &engine;
+  hot.shards = kShards;
+  hot.hash = &hashes[0];
+  hot.stop_at = kPeriod * kEpochs;
+  hot.rng = Rng(0x4077);
+  engine.shard(0).schedule_at(1, [&hot] { hot.fire(); });
+  std::vector<std::unique_ptr<ColdActor>> colds;
+  for (std::size_t s = 1; s < kShards; ++s) {
+    colds.push_back(std::make_unique<ColdActor>());
+    ColdActor& c = *colds.back();
+    c.eng = &engine;
+    c.shard = s;
+    c.shards = kShards;
+    c.hashes = hashes.data();
+    c.period = kPeriod;
+    c.burst = 8;
+    c.burst_left = 8;
+    c.epochs_left = kEpochs;
+    c.next_burst = static_cast<SimTime>(100 + s * 3);
+    c.rng = Rng(0xC01D + s);
+    engine.shard(s).schedule_at(c.next_burst, [&c] { c.fire(); });
+  }
+  engine.run();
+  ImbalancedResult r;
+  TraceHasher combined;
+  for (const TraceHasher& h : hashes) combined.mix(h.h);
+  combined.mix(engine.events_processed());
+  combined.mix(engine.messages());
+  combined.mix(engine.windows());
+  combined.mix(engine.shard_windows());
+  combined.mix(engine.stalled_shard_windows());  // deterministic too
+  r.hash = combined.h;
+  r.windows = engine.windows();
+  r.shard_windows = engine.shard_windows();
+  r.stalled = engine.stalled_shard_windows();
+  r.steals = engine.steals();
+  return r;
+}
+
+TEST(ShardedSimulator, ImbalancedTopologyByteIdenticalAcross1_2_8Threads) {
+  for (const WindowMode mode :
+       {WindowMode::kAdaptive, WindowMode::kFixedWindow}) {
+    const ImbalancedResult r1 = imbalanced_run(mode, 1);
+    const ImbalancedResult r2 = imbalanced_run(mode, 2);
+    const ImbalancedResult r8 = imbalanced_run(mode, 8);
+    EXPECT_EQ(r1.hash, r2.hash);
+    EXPECT_EQ(r1.hash, r8.hash);
+    // Single-threaded runs have nothing to steal from.
+    EXPECT_EQ(r1.steals, 0u);
+  }
+}
+
+TEST(ShardedSimulator, AdaptiveHorizonsCrossQuietGapsInOneWindow) {
+  const ImbalancedResult fixed = imbalanced_run(WindowMode::kFixedWindow, 1);
+  const ImbalancedResult adaptive = imbalanced_run(WindowMode::kAdaptive, 1);
+  // Same simulation, radically fewer synchronization rounds: the fixed
+  // engine pays ~period/lookahead barriers per quiet gap, adaptive one.
+  EXPECT_LT(adaptive.windows * 4, fixed.windows);
+  // The starvation regression proper: cold shards no longer spin at
+  // barriers with empty horizons while the hot shard inches forward.
+  EXPECT_LT(adaptive.stalled * 4, fixed.stalled);
+}
+
 // --- lookahead queries ------------------------------------------------------
 
 TEST(Network, MinCrossLatencyOnATwoLevelTree) {
@@ -283,6 +488,67 @@ TEST(Network, MinCrossLatencyOnATwoLevelTree) {
   EXPECT_EQ(net.min_cross_latency(2), 0);
   EXPECT_EQ(net.route_latency(0, 1), nanoseconds(40));
   EXPECT_EQ(net.route_latency(0, 2), nanoseconds(340));
+}
+
+TEST(Network, MinLatencyFromIsThePerSourceFloor) {
+  NetworkConfig nc;
+  LinkParams l0;
+  l0.hop_latency = nanoseconds(20);
+  LinkParams l1;
+  l1.hop_latency = nanoseconds(150);
+  nc.level_params = {{0, l0}, {1, l1}};
+  // Two switches of two endpoints each: {0,1} under one, {2,3} under the
+  // other, switches joined by level-1 links.
+  Network net(make_tree({2, 2}), nc);
+  for (std::size_t e = 0; e < net.endpoint_count(); ++e) {
+    // Nearest peer of any endpoint is its same-switch sibling...
+    EXPECT_EQ(net.min_latency_from(e, 0), nanoseconds(40));
+    // ...while the nearest *cross-tier* peer sits behind two l1 hops.
+    EXPECT_EQ(net.min_latency_from(e, 1), nanoseconds(340));
+    // No route from anywhere crosses a level that does not exist.
+    EXPECT_EQ(net.min_latency_from(e, 2), 0);
+  }
+  // The global min_cross_latency is the min over per-source floors.
+  EXPECT_EQ(net.min_cross_latency(1), nanoseconds(340));
+}
+
+TEST(Network, MinLatencyFromOnALopsidedTree) {
+  NetworkConfig nc;
+  LinkParams l0;
+  l0.hop_latency = nanoseconds(10);
+  LinkParams l1;
+  l1.hop_latency = nanoseconds(100);
+  nc.level_params = {{0, l0}, {1, l1}};
+  // Three switches of 3 endpoints: every endpoint's cheapest peer is
+  // intra-switch (20), and the per-source cross floor (220) is the same
+  // from every source by symmetry — but must be derived per endpoint by
+  // the climb, not read off the global min.
+  Network net(make_tree({3, 3}), nc);
+  for (std::size_t e = 0; e < 9; ++e) {
+    EXPECT_EQ(net.min_latency_from(e, 0), nanoseconds(20));
+    EXPECT_EQ(net.min_latency_from(e, 1), nanoseconds(220));
+  }
+}
+
+TEST(PgasSystem, PerPeerShardLookaheadMatchesTheRouteOracle) {
+  PgasConfig pc;
+  pc.nodes = 4;
+  pc.workers_per_node = 2;
+  PgasSystem pgas(pc);
+  for (std::size_t from = 0; from < 4; ++from) {
+    // The per-source floor out of any node is the cheapest of its
+    // per-peer latencies — the exact relation the adaptive engine's
+    // collapsed-horizon fallback relies on.
+    SimDuration cheapest = 0;
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      const SimDuration pair = pgas.shard_lookahead(from, to);
+      // Per-peer bounds can never undercut the global cross-node floor.
+      EXPECT_GE(pair, pgas.shard_lookahead());
+      if (cheapest == 0 || pair < cheapest) cheapest = pair;
+    }
+    EXPECT_EQ(pgas.shard_lookahead_floor(from), cheapest);
+  }
 }
 
 TEST(PgasSystem, ShardLookaheadMatchesInterNodeTier) {

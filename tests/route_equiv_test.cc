@@ -70,6 +70,13 @@ TEST(RouteEquivalence, RandomizedTreesMatchDenseTableExactly) {
       ASSERT_EQ(implicit.min_cross_latency(level),
                 dense.min_cross_latency(level))
           << "seed " << seed << " level " << level;
+      // Per-source floors: the implicit tree-DP climb against the dense
+      // destination sweep — the adaptive engine's source_floor oracle.
+      for (std::size_t s = 0; s < eps; ++s) {
+        ASSERT_EQ(implicit.min_latency_from(s, level),
+                  dense.min_latency_from(s, level))
+            << "seed " << seed << " level " << level << " src " << s;
+      }
     }
     ASSERT_EQ(implicit.diameter(), dense.diameter()) << "seed " << seed;
 

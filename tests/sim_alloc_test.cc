@@ -19,6 +19,7 @@
 #include "interconnect/topology.h"
 #include "obs/trace.h"
 #include "sim/inline_action.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "unimem/pgas.h"
 
@@ -246,6 +247,80 @@ TEST(SimulatorAllocation, TracedPgasAndNetworkLoopsStayAllocationFree) {
   obs::TraceSession::instance().stop();
 }
 #endif  // !ECO_TRACE_DISABLED
+
+// --- sharded parallel engine ------------------------------------------------
+
+// Cross-posting actor for the multi-threaded engine: self-reschedules on
+// its own shard and sends every fourth fire to its ring neighbor. All
+// captures fit InlineAction's inline buffer, the mailbox ring is sized so
+// nothing spills, and the merge scratch is pre-reserved from lane
+// capacities at run() entry — so once warm, a window (claim, execute,
+// drain, tree-merge, insert, fold) must not allocate at all.
+struct ShardPumpActor {
+  ShardedSimulator* eng = nullptr;
+  std::size_t shard = 0;
+  std::size_t shards = 0;
+  std::uint64_t left = 0;
+  // Per-shard sink slots: slot d is only ever written by whichever thread
+  // is executing shard d's window (cross-posts land on the destination's
+  // slot), so the accumulation needs no synchronization of its own.
+  std::uint64_t* sinks = nullptr;
+
+  void fire() {
+    Simulator& sim = eng->shard(shard);
+    sinks[shard] += sim.now();
+    if (left == 0) return;
+    --left;
+    if ((left & 3) == 0 && shards > 1) {
+      const std::size_t to = (shard + 1) % shards;
+      std::uint64_t* s = &sinks[to];
+      ShardedSimulator* e = eng;
+      eng->post(shard, to, sim.now() + 200 + (left % 64),
+                [e, to, s] { *s += e->shard(to).now(); });
+    }
+    sim.schedule_after(50 + (left % 50), [this] { fire(); });
+  }
+};
+
+std::uint64_t sharded_run_allocs(std::uint64_t fires_per_actor) {
+  const std::uint64_t before = g_allocations.load();
+  ShardedConfig sc;
+  sc.shards = 8;
+  sc.lookahead = 200;
+  sc.threads = 4;  // the promise must hold with --sim-threads > 1
+  sc.mailbox_capacity = 1024;
+  ShardedSimulator engine(sc);
+  EXPECT_EQ(engine.threads_used(), 4u);
+  std::array<std::uint64_t, 8> sinks{};
+  std::array<ShardPumpActor, 8> actors;
+  for (std::size_t s = 0; s < 8; ++s) {
+    actors[s].eng = &engine;
+    actors[s].shard = s;
+    actors[s].shards = 8;
+    actors[s].left = fires_per_actor;
+    actors[s].sinks = sinks.data();
+    ShardPumpActor* a = &actors[s];
+    engine.shard(s).schedule_at(static_cast<SimTime>(1 + s),
+                                [a] { a->fire(); });
+  }
+  engine.run();
+  EXPECT_EQ(engine.mailbox_spills(), 0u)
+      << "ring overflowed; spills allocate and void the comparison";
+  EXPECT_GT(engine.messages(), 0u);
+  return g_allocations.load() - before;
+}
+
+TEST(SimulatorAllocation, ShardedEngineWindowsAreAllocationFreeOnceWarm) {
+  // Per-run costs (engine construction, scratch reservations, std::thread
+  // state for threads-1 workers, event-slab warm-up) are identical for
+  // identical configs, so running 4x the windows must allocate exactly as
+  // much as running 1x — anything per-window shows up as the difference.
+  sharded_run_allocs(2000);  // warm process-wide pools and TLS once
+  const std::uint64_t base = sharded_run_allocs(2000);
+  const std::uint64_t scaled = sharded_run_allocs(8000);
+  EXPECT_EQ(scaled, base)
+      << "the parallel engine allocated per window in steady state";
+}
 
 TEST(SimulatorAllocation, ColdStartAllocatesOnlyStorageGrowth) {
   // Sanity: the warm-up itself does allocate (vector growth, pool fill) —
