@@ -112,17 +112,10 @@ class ShardLane {
            overflow_.empty();
   }
 
+  /// The engine pre-reserves its per-lane drain and merge scratch from
+  /// this at run() entry, so a drain of a non-overflowed window never
+  /// reallocates (the sim_alloc_test steady-state guarantee).
   std::size_t capacity() const { return mask_ + 1; }
-  /// Messages currently buffered (ring plus overflow). Quiescent-side
-  /// accessor for sizing drain buffers: the engine pre-reserves its merge
-  /// scratch to capacity() per lane at run() entry, so a drain of a
-  /// non-overflowed window never reallocates (the sim_alloc_test
-  /// steady-state guarantee).
-  std::size_t pending() const {
-    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
-                                    head_.load(std::memory_order_acquire)) +
-           overflow_.size();
-  }
   /// Pushes that missed the ring and took the overflow vector.
   std::uint64_t overflow_spills() const { return overflow_spills_; }
   /// Bytes of buffering this lane holds (ring slots; the transient

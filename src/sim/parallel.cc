@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/reduce.h"
+#include "common/rng.h"
 #include "obs/trace.h"
 
 namespace ecoscale {
@@ -110,6 +111,7 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config)
   // above the cap keep only per-source floors so construction and memory
   // stay O(shards) at 6k+ shards.
   source_floor_.assign(nshards, config_.lookahead);
+  dest_floor_.assign(nshards, config_.lookahead);
   if (config_.pair_lookahead && nshards > 1) {
     if (nshards <= config_.dense_pair_cap) {
       pair_matrix_.assign(nshards * nshards, 0);
@@ -126,31 +128,95 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config)
         }
         source_floor_[s] = floor;
       }
+      // Exact per-destination column minima: the echo-cap distance.
+      for (std::size_t d = 0; d < nshards; ++d) {
+        SimDuration floor = kNever;
+        for (std::size_t b = 0; b < nshards; ++b) {
+          if (b == d) continue;
+          floor = std::min(floor, pair_matrix_[b * nshards + d]);
+        }
+        dest_floor_[d] = floor;
+      }
       // The adaptive bound is transitively safe only for metric oracles
-      // (see parallel.h); spot-check sampled triples so a non-metric
-      // oracle fails loudly at construction, not silently in a window.
+      // (see parallel.h); spot-check triples so a non-metric oracle fails
+      // loudly at construction, not silently in a window. Strided triples
+      // alone leave off-stride pockets unchecked, so a seeded random
+      // sweep (deterministic: same oracle, same verdict) covers the rest.
+      const auto check_triple = [&](std::size_t a, std::size_t b,
+                                    std::size_t c) {
+        if (a == b || b == c || a == c) return;
+        ECO_CHECK_MSG(pair_matrix_[a * nshards + c] <=
+                          pair_matrix_[a * nshards + b] +
+                              pair_matrix_[b * nshards + c],
+                      "pair_lookahead violates the triangle inequality "
+                      "(adaptive windows need a route-metric oracle)");
+      };
       const std::size_t step = std::max<std::size_t>(1, nshards / 24);
       for (std::size_t a = 0; a < nshards; a += step) {
         for (std::size_t b = 0; b < nshards; b += step) {
           for (std::size_t c = 0; c < nshards; c += step) {
-            if (a == b || b == c || a == c) continue;
-            ECO_CHECK_MSG(pair_matrix_[a * nshards + c] <=
-                              pair_matrix_[a * nshards + b] +
-                                  pair_matrix_[b * nshards + c],
-                          "pair_lookahead violates the triangle inequality "
-                          "(adaptive windows need a route-metric oracle)");
+            check_triple(a, b, c);
           }
         }
       }
-    } else if (config_.source_floor) {
+      Rng triples(0x7121A27u);
+      for (int i = 0; i < 1024; ++i) {
+        check_triple(triples.uniform_u64(nshards),
+                     triples.uniform_u64(nshards),
+                     triples.uniform_u64(nshards));
+      }
+    } else {
+      if (config_.source_floor) {
+        for (std::size_t s = 0; s < nshards; ++s) {
+          const SimDuration f = config_.source_floor(s);
+          ECO_CHECK_MSG(f >= 1, "source_floor must be a positive latency");
+          source_floor_[s] = f;
+        }
+      }
+      // else: the uniform lookahead floors already in place — a correct
+      // lower bound on every pair by the lookahead contract.
+      //
+      // Either way the floors feed horizons directly, so sample-verify
+      // them against the pair oracle: a floor above some actual pair
+      // latency would silently over-advance shards.
+      const auto check_floor = [&](std::size_t s, std::size_t d) {
+        if (s == d) return;
+        const SimDuration l = config_.pair_lookahead(s, d);
+        ECO_CHECK_MSG(l >= 1,
+                      "zero-latency cross-shard pair cannot be sharded "
+                      "conservatively");
+        ECO_CHECK_MSG(source_floor_[s] <= l,
+                      "source_floor exceeds an actual pair latency "
+                      "(horizons derived from it would not be "
+                      "conservative)");
+      };
+      Rng pairs(0xF100D5u);
+      const std::size_t step = std::max<std::size_t>(1, nshards / 64);
+      for (std::size_t s = 0; s < nshards; s += step) {
+        for (int k = 0; k < 8; ++k) check_floor(s, pairs.uniform_u64(nshards));
+      }
+      for (int i = 0; i < 512; ++i) {
+        check_floor(pairs.uniform_u64(nshards), pairs.uniform_u64(nshards));
+      }
+      // Collapsed echo-cap distance: L(b, d) >= source_floor_[b] for every
+      // b, so min over b != d of the source floors bounds dest_floor(d)
+      // from below (top-2 so d never reads its own floor).
+      SimDuration f1 = kNever;
+      SimDuration f2 = kNever;
+      std::size_t f_arg = 0;
       for (std::size_t s = 0; s < nshards; ++s) {
-        const SimDuration f = config_.source_floor(s);
-        ECO_CHECK_MSG(f >= 1, "source_floor must be a positive latency");
-        source_floor_[s] = f;
+        if (source_floor_[s] < f1) {
+          f2 = f1;
+          f1 = source_floor_[s];
+          f_arg = s;
+        } else if (source_floor_[s] < f2) {
+          f2 = source_floor_[s];
+        }
+      }
+      for (std::size_t d = 0; d < nshards; ++d) {
+        dest_floor_[d] = d == f_arg ? f2 : f1;
       }
     }
-    // else: the uniform lookahead floors already in place — a correct
-    // lower bound on every pair by the lookahead contract.
   }
 }
 
@@ -182,6 +248,15 @@ void ShardedSimulator::post_message(std::size_t from, std::size_t to,
   ECO_CHECK_MSG(t >= shards_[from]->sim.now() + bound,
                 "cross-shard event inside the conservative lookahead window");
   Shard& src = *shards_[from];
+  if (config_.window_mode == WindowMode::kAdaptive) {
+    // Self-chain echo cap (parallel.h file comment): any causal chain
+    // seeded by this message returns to `from` no earlier than
+    // t + dest_floor(from) — the return chain's last leg alone costs at
+    // least the cheapest latency into `from` — so the posting shard's
+    // window must stop before that time. kFixedWindow needs no cap: there
+    // t >= now + lookahead >= the global window end already.
+    src.sim.tighten_run_bound(t + dest_floor_[from]);
+  }
   tls_run_context.lane->push(t, static_cast<std::uint32_t>(from),
                              static_cast<std::uint32_t>(to), src.post_seq++,
                              std::move(action));
@@ -217,6 +292,10 @@ SimTime ShardedSimulator::shard_horizon(std::size_t d) const {
     case WindowMode::kAdaptive:
       break;
   }
+  // Both adaptive paths bound d by its *peers'* pending work only: at the
+  // round start no chain originating on d has been seeded yet, and the
+  // moment one is (d posts during its window) the echo cap in
+  // post_message() tightens the running window — see parallel.h.
   if (!pair_matrix_.empty()) {
     // Exact column minimum over the dense pair matrix: the earliest any
     // peer's pending work could reach d.

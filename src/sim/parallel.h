@@ -15,23 +15,37 @@
 //                                    L = uniform lookahead
 //                  — the PR-5 engine, kept as the baseline-locked mode.
 //
-//   kAdaptive      each shard d runs to its own horizon
+//   kAdaptive      each shard d starts its round with the horizon
 //                      end_d = min over s != d of next_s + L(s, d)
 //                  where L(s, d) is a per-pair latency oracle (defaulting
-//                  to the uniform lookahead). Loosely-coupled shards run
-//                  long windows while tightly-coupled ones stay
-//                  conservative; the shard holding the global minimum is
-//                  excluded from its own bound, so a hot shard is never
-//                  throttled by itself and cold peers don't spin through
-//                  empty windows behind it.
+//                  to the uniform lookahead), and the bound is *tightened
+//                  while the window runs*: the moment d posts a message
+//                  with delivery time t, its window is capped at
+//                  t + dest_floor(d), dest_floor(d) = min over b != d of
+//                  L(b, d) — the self-chain echo cap. Loosely-coupled
+//                  shards run long windows while tightly-coupled ones
+//                  stay conservative, and every shard (including self)
+//                  contributes to its own bound the moment it can matter.
 //
-// Conservative correctness of the adaptive bound: any future event on d
-// has a causal chain starting from some currently-pending event on a shard
-// s (time >= next_s) and every cross-shard leg of the chain pays its pair
-// latency, so with a triangle-inequality oracle (any route/shortest-path
-// latency is one) the chain reaches d no earlier than next_s + L(s, d)
-// >= end_d. Messages posted during a round are merged at the round
-// boundary, before any horizon is recomputed.
+// Conservative correctness of the adaptive bound, with a triangle-
+// inequality oracle (any route/shortest-path latency is one — every
+// cross-shard leg of a causal chain pays at least its pair latency):
+//
+//   * Chains starting on a peer: any future event on d seeded by a
+//     currently-pending event on a shard s != d (time >= next_s) reaches
+//     d no earlier than next_s + L(s, d) >= end_d.
+//   * Chains starting on d itself (d posts to b, something eventually
+//     posts back): the round-start horizon cannot see these — if d holds
+//     the global floor and its peers are distant, end_d can exceed the
+//     echo time next_d + L(d, b) + L(b, d). The echo cap closes exactly
+//     this hole: the seeding post (delivery time t) stops d's own window
+//     before t + dest_floor(d), and any echo of it arrives no earlier
+//     (the return chain's last leg alone costs >= dest_floor(d)).
+//   * Later rounds: messages posted during a round are merged at the
+//     round boundary, before any horizon is recomputed, so while a chain
+//     is in flight some shard always holds one of its events as pending
+//     work and the peer bound above protects d for the rest of the
+//     chain's life.
 //
 // Scheduling: shards are claimed from per-thread ready queues with
 // work stealing — a thread that drains its own stripe steals windows from
@@ -118,14 +132,18 @@ struct ShardedConfig {
   /// Optional per-pair latency oracle L(from, to), e.g. a captured
   /// Network::route_latency. Must be >= 1 for every pair and satisfy the
   /// triangle inequality L(a, c) <= L(a, b) + L(b, c) — true for any
-  /// route/shortest-path latency (sampled triples are checked at
-  /// construction). Tightens both the adaptive horizons and the post()
-  /// contract. Unset: the uniform `lookahead` stands in for every pair.
+  /// route/shortest-path latency (both strided and seeded-random triples
+  /// are checked at construction, so a locally non-metric oracle fails
+  /// loudly instead of yielding an unsafe horizon). Tightens both the
+  /// adaptive horizons and the post() contract. Unset: the uniform
+  /// `lookahead` stands in for every pair.
   std::function<SimDuration(std::size_t from, std::size_t to)> pair_lookahead;
   /// Optional per-source floor min over d != s of L(s, d) (e.g.
   /// Network::min_latency_from). Only consulted when `pair_lookahead` is
   /// set but the shard count exceeds `dense_pair_cap`; below the cap the
-  /// floor is derived from the dense matrix.
+  /// floor is derived from the dense matrix. Construction sample-verifies
+  /// floor(s) <= L(s, d) against the pair oracle — a floor that exceeds a
+  /// real pair latency would silently over-advance shards.
   std::function<SimDuration(std::size_t from)> source_floor;
   /// Shard count up to which the pair oracle is materialized as a dense
   /// matrix (O(shards^2) construction + memory; horizons then take exact
@@ -303,9 +321,13 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 
   // Per-pair latency state: dense matrix (shards <= dense_pair_cap with an
-  // oracle) and the per-source floors used by the collapsed horizon.
+  // oracle), the per-source floors used by the collapsed horizon, and the
+  // per-destination floors min over b != d of L(b, d) — the echo-cap
+  // distance (dense: exact column minima; collapsed: bounded below by the
+  // top-2 of the source floors, since L(b, d) >= source_floor_[b]).
   std::vector<SimDuration> pair_matrix_;  // shards x shards, row = source
   std::vector<SimDuration> source_floor_;
+  std::vector<SimDuration> dest_floor_;
   // Published next event time per shard (kNever = idle). Written only by
   // the shard-range owner in the fold phase, read by everyone in the next
   // execute phase; the round barriers order the two.

@@ -115,8 +115,19 @@ class Simulator {
   /// clock never advances past what actually executed.
   void run_before(SimTime end) {
     const auto t0 = Clock::now();
-    while (has_due_before(end)) step_untimed();
+    run_bound_ = end;
+    while (has_due_before(run_bound_)) step_untimed();
     wall_ns_ += elapsed_ns(t0);
+  }
+
+  /// Tighten the bound of the run_before() call currently executing this
+  /// action (no-op unless `end` is below it; reset by the next
+  /// run_before). The sharded engine calls this from inside a posting
+  /// action: once a shard emits a cross-shard message it must stop before
+  /// the earliest time an echo of that message could return (parallel.h,
+  /// "self-chain echo cap").
+  void tighten_run_bound(SimTime end) {
+    run_bound_ = std::min(run_bound_, end);
   }
 
   /// Timestamp of the earliest pending event. Precondition: !idle().
@@ -341,6 +352,7 @@ class Simulator {
   }
 
   SimTime now_ = 0;
+  SimTime run_bound_ = 0;  // live bound of the run_before() in flight
   std::uint16_t trace_tid_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

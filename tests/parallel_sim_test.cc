@@ -5,6 +5,7 @@
 // workload and for a mixed UNIMEM+UNILOGIC workload on ShardedRuntime.
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -321,6 +322,104 @@ TEST(ShardedSimulator, TriangleInequalityViolationIsRejected) {
     return (from == 0 && to == 2) ? 500 : 10;
   };
   EXPECT_THROW(ShardedSimulator{sc}, CheckError);
+}
+
+TEST(ShardedSimulator, OffStrideTriangleViolationIsCaughtBySampling) {
+  // 48 shards put the strided triangle check on stride 2 — even indices
+  // only — so a violation confined to odd shards slips through it.
+  // Odd->odd pairs cost 500 with 10-cost relays through any even shard: a
+  // gross metric violation living entirely off the stride grid, which the
+  // seeded random triple sweep must still catch.
+  ShardedConfig sc;
+  sc.shards = 48;
+  sc.lookahead = 10;
+  sc.pair_lookahead = [](std::size_t from, std::size_t to) -> SimDuration {
+    return (from % 2 == 1 && to % 2 == 1) ? 500 : 10;
+  };
+  EXPECT_THROW(ShardedSimulator{sc}, CheckError);
+}
+
+TEST(ShardedSimulator, OverstatedSourceFloorIsRejected) {
+  // Above dense_pair_cap the horizons trust the per-source floors, so a
+  // floor that exceeds a real pair latency must fail at construction
+  // instead of silently over-advancing shards.
+  ShardedConfig sc;
+  sc.shards = 8;
+  sc.lookahead = 10;
+  sc.dense_pair_cap = 4;
+  sc.pair_lookahead = [](std::size_t, std::size_t) -> SimDuration {
+    return 100;
+  };
+  sc.source_floor = [](std::size_t) -> SimDuration { return 150; };
+  EXPECT_THROW(ShardedSimulator{sc}, CheckError);
+  // An honest floor (== the uniform pair latency) constructs fine.
+  sc.source_floor = [](std::size_t) -> SimDuration { return 100; };
+  EXPECT_NO_THROW(ShardedSimulator{sc});
+}
+
+// --- self-chain echo: ping-pong back to the global-min shard ----------------
+
+// Regression for the adaptive-horizon self-chain hole: shard 0 holds the
+// global floor with dense local work far beyond the echo time, shard 1 is
+// idle and shard 2's only event is distant, so the round-start peer bound
+// leaves shard 0's first window nearly unbounded. Shard 0 pings shard 1,
+// which pongs straight back at the pair bound. Without the post-time echo
+// cap shard 0 runs its local work past the pong's delivery time in round
+// 1 and the merge two rounds later schedules an event in its past.
+void ping_pong_echo_run(const std::function<void(ShardedConfig&)>& tweak,
+                        SimDuration hop) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ShardedConfig sc;
+    sc.shards = 3;
+    sc.lookahead = 100;
+    sc.threads = threads;
+    tweak(sc);
+    ShardedSimulator engine(sc);
+    for (SimTime t = 10; t <= 5000; t += 10) {
+      engine.shard(0).schedule_at(t, [] {});
+    }
+    engine.shard(2).schedule_at(1000000, [] {});  // distant, not idle
+    SimTime pong_at = 0;
+    engine.shard(0).schedule_at(10, [&engine, &pong_at, hop] {
+      engine.post(0, 1, engine.shard(0).now() + hop,
+                  [&engine, &pong_at, hop] {
+                    engine.post(1, 0, engine.shard(1).now() + hop,
+                                [&engine, &pong_at] {
+                                  pong_at = engine.shard(0).now();
+                                });
+                  });
+    });
+    engine.run();
+    EXPECT_EQ(pong_at, 10 + 2 * hop);
+  }
+}
+
+TEST(ShardedSimulator, EchoToGlobalMinShardUniformLookahead) {
+  ping_pong_echo_run([](ShardedConfig&) {}, 100);
+}
+
+TEST(ShardedSimulator, EchoToGlobalMinShardDensePairOracle) {
+  ping_pong_echo_run(
+      [](ShardedConfig& sc) {
+        sc.lookahead = 10;
+        sc.pair_lookahead = [](std::size_t, std::size_t) -> SimDuration {
+          return 100;
+        };
+      },
+      100);
+}
+
+TEST(ShardedSimulator, EchoToGlobalMinShardCollapsedFloors) {
+  ping_pong_echo_run(
+      [](ShardedConfig& sc) {
+        sc.lookahead = 10;
+        sc.dense_pair_cap = 2;  // force the collapsed per-source-floor path
+        sc.pair_lookahead = [](std::size_t, std::size_t) -> SimDuration {
+          return 100;
+        };
+        sc.source_floor = [](std::size_t) -> SimDuration { return 100; };
+      },
+      100);
 }
 
 // --- imbalanced topology: one hot shard, many cold burst shards -------------
