@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,8 @@ struct Options {
   std::size_t sim_threads = 1;   // sharded-engine threads (0: hardware)
   std::string trace_path;        // empty: tracing off
   std::string trace_categories;  // empty/"all": every category
+  double offered_load = 0.0;     // serve benches; 0: bench default sweep
+  double zipf = -1.0;            // serve key skew; negative: bench default
 };
 
 inline Options& options() {
@@ -143,10 +146,29 @@ inline void flush_trace_at_exit() {
 
 }  // namespace detail
 
+/// Parse one non-negative floating-point flag value. Returns true and
+/// stores into `out` on success; on a malformed or negative value it
+/// warns on stderr, leaves `out` untouched and returns false — the
+/// bench keeps its default instead of silently sweeping garbage.
+inline bool parse_load_flag(const char* flag, const char* text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno != 0 || !std::isfinite(v) ||
+      v < 0.0) {
+    std::cerr << "bench: malformed " << flag << " \"" << text
+              << "\" (want a non-negative number); keeping default\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
 /// Parse common bench flags. Unknown flags are ignored so individual
 /// benches can layer their own parsing on top. `--trace <file>` records a
 /// Chrome trace of the whole run (filtered by `--trace-categories a,b,c`)
-/// and writes it at exit.
+/// and writes it at exit. `--offered-load <req/s>` and `--zipf <skew>`
+/// pin the serve benches' sweep to a single operating point.
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -162,6 +184,10 @@ inline void init(int argc, char** argv) {
       options().trace_path = argv[++i];
     } else if (arg == "--trace-categories" && i + 1 < argc) {
       options().trace_categories = argv[++i];
+    } else if (arg == "--offered-load" && i + 1 < argc) {
+      parse_load_flag("--offered-load", argv[++i], options().offered_load);
+    } else if (arg == "--zipf" && i + 1 < argc) {
+      parse_load_flag("--zipf", argv[++i], options().zipf);
     }
   }
   if (!options().trace_path.empty()) {

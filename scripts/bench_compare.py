@@ -14,7 +14,11 @@ Tables are matched by caption (falling back to position), rows by their
 first column. Every numeric cell is compared; non-numeric cells are
 ignored. Exits 1 if --threshold is given and any metric regressed by more
 than PCT percent (a regression is a drop for */sec columns and a rise for
-everything else, since the remaining units are times/counts).
+everything else, since the remaining units are times/counts). Latency
+percentile columns ("p50 ns" / "p99 ns" / "p999 ns") therefore gate as
+ceilings: committed baselines pre-inflate them x2 (update_baselines.py),
+so only a genuine tail blow-up — not runner noise — can rise past the
+threshold. Hash columns are compared exactly, any drift fails.
 """
 
 import argparse

@@ -11,7 +11,10 @@ runner-vs-runner variance:
   * throughput columns ("/sec", "per_sec"): multiplied by 0.5 (a floor —
     CI fails only if it drops more than --fail-above below half the
     reference machine's throughput)
-  * latency columns ("ns/op"): multiplied by 2.0 (a ceiling)
+  * latency columns ("ns/op", and tail-percentile columns such as
+    "p50 ns" / "p99 ns" / "p999 ns" / "max ns" from the serving benches):
+    multiplied by 2.0 (a ceiling — p999 is matched as a whole token, not
+    as a substring of p99)
   * wall-time and memory-footprint columns ("ms", "MB"): multiplied by 2.5
     with an absolute floor of 10 units (a ceiling — construction time and
     RSS growth gate structural regressions such as an accidental return
@@ -24,7 +27,8 @@ a performance number.
 Re-run this script (and commit bench/baselines/) whenever bench workloads
 or engine behavior change intentionally:
 
-    cmake --build build --target bench_simcore bench_mempath bench_scale
+    cmake --build build --target bench_simcore bench_mempath bench_scale \
+        bench_serve
     python3 scripts/update_baselines.py --build-dir build
 """
 
@@ -35,7 +39,8 @@ import subprocess
 import sys
 import tempfile
 
-GATED_BENCHES = ["bench_simcore", "bench_mempath", "bench_scale"]
+GATED_BENCHES = ["bench_simcore", "bench_mempath", "bench_scale",
+                 "bench_serve"]
 # Matches the CI bench-smoke invocation so sharded-engine tables have the
 # same row keys (the "sim threads" column) in baseline and fresh runs.
 BENCH_ARGS = ["--sim-threads", "4"]
@@ -48,6 +53,18 @@ WALL_INFLATE = 2.5  # wall-time ("ms") and memory ("MB") ceilings
 # trips them; the scaling gate cares about the big rows, so tiny ones
 # get at least this much absolute headroom.
 WALL_MIN_CEILING = 10.0
+
+
+def is_latency_column(name):
+    """Latency columns gated as x2 ceilings: "ns/op" rates, and the
+    serving benches' tail percentiles. Percentile names are matched as
+    whole tokens ("p999 ns" must not be caught by a "p99" substring
+    test, or renamed columns would silently inherit the wrong gate)."""
+    if "ns/op" in name:
+        return True
+    tokens = name.split()
+    return "ns" in tokens and any(
+        t in ("p50", "p90", "p99", "p999", "max", "mean") for t in tokens)
 
 
 def derate(doc):
@@ -63,7 +80,7 @@ def derate(doc):
                     continue
                 if "/sec" in name or "per_sec" in name:
                     row[i] = f"{v * THROUGHPUT_DERATE:.6g}"
-                elif "ns/op" in name:
+                elif is_latency_column(name):
                     row[i] = f"{v * LATENCY_INFLATE:.6g}"
                 elif "ms" in name.split() or "MB" in name.split():
                     row[i] = f"{max(v * WALL_INFLATE, WALL_MIN_CEILING):.6g}"

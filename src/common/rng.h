@@ -101,6 +101,25 @@ class Rng {
     return mean + stddev * z;
   }
 
+  /// Poisson with the given mean, truncated to [0, bound]. Knuth's
+  /// product method — exact for the small means load generators use
+  /// (burst sizes, per-tick arrivals); the bound keeps a pathological
+  /// mean from spinning the loop or overflowing downstream buffers.
+  std::uint64_t bounded_poisson(double mean, std::uint64_t bound) {
+    ECO_CHECK(mean >= 0);
+    ECO_CHECK(bound > 0);
+    if (mean <= 0.0) return 0;
+    const double limit = std::exp(-std::min(mean, 700.0));
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      p *= uniform();
+      if (p <= limit) break;
+      ++k;
+    } while (k < bound);
+    return std::min(k, bound);
+  }
+
   /// Zipf-distributed rank in [0, n) with skew s (s = 0 → uniform).
   /// Used for skewed page/accelerator popularity in sharing experiments.
   std::size_t zipf(std::size_t n, double s) {
@@ -142,6 +161,43 @@ class Rng {
   std::vector<double> zipf_cdf_;
   std::size_t zipf_n_ = 0;
   double zipf_s_ = -1.0;
+};
+
+/// Zipfian rank sampler with the CDF built once at construction. Unlike
+/// Rng::zipf — which caches per Rng instance and rebuilds whenever (n, s)
+/// changes — one ZipfSampler can serve many per-node Rng streams without
+/// redundant harmonic sums, which matters when a load generator runs one
+/// decorrelated stream per origin node over the same key population.
+/// Sampling is O(log n) (binary search on the CDF) and allocation-free.
+class ZipfSampler {
+ public:
+  /// Ranks in [0, n), skew s >= 0 (s = 0 → uniform).
+  ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+    ECO_CHECK(n > 0);
+    if (s_ <= 0.0) return;  // uniform fallback needs no table
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  std::size_t operator()(Rng& rng) const {
+    if (s_ <= 0.0) return static_cast<std::size_t>(rng.uniform_u64(n_));
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  std::size_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  std::size_t n_;
+  double s_;
+  std::vector<double> cdf_;
 };
 
 }  // namespace ecoscale

@@ -27,6 +27,7 @@ const char* cat_name(Cat c) {
     case Cat::kDetect: return "detect";
     case Cat::kRetry: return "retry";
     case Cat::kFailover: return "failover";
+    case Cat::kServe: return "serve";
   }
   return "?";
 }

@@ -19,6 +19,8 @@ struct TaskTraceNames {
   CounterId fail = CounterRegistry::intern("task.fail");
   CounterId detect = CounterRegistry::intern("fault.detect");
   CounterId failover = CounterRegistry::intern("task.failover");
+  CounterId shed = CounterRegistry::intern("task.shed");
+  CounterId batch = CounterRegistry::intern("task.batch");
 };
 [[maybe_unused]] const TaskTraceNames& task_trace_names() {
   static const TaskTraceNames names;
@@ -192,6 +194,23 @@ void RuntimeSystem::arrive(std::size_t worker, Task task, int spill_hops) {
     const std::size_t target = survivor_for(worker);
     if (target != worker) worker = target;
   }
+  // Admission control: past the configured depth the task is shed, not
+  // queued — bounded queues are what keep tail latency bounded under
+  // overload. The shed is final (no retry inside the runtime); the shed
+  // handler lets the application fail the request upward.
+  if (config_.admission_limit > 0) {
+    const std::size_t depth =
+        workers_[worker].queue.size() + (workers_[worker].busy ? 1 : 0);
+    if (depth >= config_.admission_limit) {
+      ++shed_tasks_;
+      --pending_;
+      ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().shed,
+                        queue_lane(worker, machine_.workers_per_node()),
+                        sim_.now(), task.id);
+      if (shed_handler_) shed_handler_(task, sim_.now());
+      return;
+    }
+  }
   // Lazy scheduling: the only status consulted is this worker's own queue.
   // A deep queue diffuses the task onward (bounded cascade), first to a
   // node neighbour, then across the node boundary.
@@ -290,6 +309,29 @@ DeviceClass RuntimeSystem::place(const Task& task, std::size_t worker) {
 void RuntimeSystem::dispatch(std::size_t worker) {
   WorkerState& state = workers_[worker];
   if (state.busy || state.queue.empty()) return;
+  // Request batching: opening a batch pays dispatch_overhead once, then
+  // up to batch_size queued tasks dispatch back to back without re-paying
+  // it. The open is epoch-guarded like completions: a crash bumps the
+  // epoch and orphans the pending open.
+  if (config_.dispatch_overhead > 0 && state.batch_left == 0) {
+    state.batch_left = std::min(std::max<std::size_t>(config_.batch_size, 1),
+                                state.queue.size());
+    state.busy = true;
+    const std::uint64_t epoch = ++state.epoch;
+    ECO_TRACE_INSTANT(obs::Cat::kRuntime, task_trace_names().batch,
+                      queue_lane(worker, machine_.workers_per_node()),
+                      sim_.now(),
+                      static_cast<std::uint32_t>(state.batch_left));
+    sim_.schedule_at(sim_.now() + config_.dispatch_overhead,
+                     [this, worker, epoch] {
+                       WorkerState& st = workers_[worker];
+                       if (st.epoch != epoch) return;  // crashed mid-open
+                       st.busy = false;
+                       dispatch(worker);
+                     });
+    return;
+  }
+  if (state.batch_left > 0) --state.batch_left;
   Task task = std::move(state.queue.front());
   state.queue.pop_front();
   state.busy = true;
@@ -408,18 +450,36 @@ void RuntimeSystem::dispatch(std::size_t worker) {
     state.exec_energy = result.energy;
   }
 
-  sim_.schedule_at(finish, [this, worker, result, epoch] {
-    WorkerState& st = workers_[worker];
-    if (st.epoch != epoch) return;  // attempt destroyed by a crash
-    ECO_TRACE_END(obs::Cat::kRuntime, task_trace_names().exec,
-                  worker_lane(worker, machine_.workers_per_node()),
-                  sim_.now());
-    st.in_flight = false;
-    results_.push_back(result);
-    --pending_;
-    st.busy = false;
-    dispatch(worker);
-  });
+  if (completion_handler_) {
+    // The handler needs the task (payload) alongside the result; the
+    // fatter capture only exists when a handler is installed.
+    sim_.schedule_at(finish, [this, worker, task, result, epoch] {
+      WorkerState& st = workers_[worker];
+      if (st.epoch != epoch) return;  // attempt destroyed by a crash
+      ECO_TRACE_END(obs::Cat::kRuntime, task_trace_names().exec,
+                    worker_lane(worker, machine_.workers_per_node()),
+                    sim_.now());
+      st.in_flight = false;
+      results_.push_back(result);
+      --pending_;
+      st.busy = false;
+      completion_handler_(task, result);
+      dispatch(worker);
+    });
+  } else {
+    sim_.schedule_at(finish, [this, worker, result, epoch] {
+      WorkerState& st = workers_[worker];
+      if (st.epoch != epoch) return;  // attempt destroyed by a crash
+      ECO_TRACE_END(obs::Cat::kRuntime, task_trace_names().exec,
+                    worker_lane(worker, machine_.workers_per_node()),
+                    sim_.now());
+      st.in_flight = false;
+      results_.push_back(result);
+      --pending_;
+      st.busy = false;
+      dispatch(worker);
+    });
+  }
 
   // Observe immediately (the measurement is deterministic): prequential
   // training keeps the model-based policy causal — the prediction above
@@ -439,6 +499,7 @@ void RuntimeSystem::on_worker_down(std::size_t worker, SimTime at) {
   WorkerState& state = workers_[worker];
   state.busy = true;   // nothing dispatches while the worker is down
   ++state.epoch;       // orphan any scheduled completion of this worker
+  state.batch_left = 0;  // the open batch dies with the worker
   state.pending_detect = true;
   state.crash_at = at;
   if (state.in_flight) {
@@ -601,6 +662,7 @@ RuntimeStats RuntimeSystem::stats() const {
     s.turnaround_ns.add(to_nanoseconds(r.turnaround()));
   }
   s.monitor_messages = monitor_messages_;
+  s.shed_tasks = shed_tasks_;
   s.worker_failures = failures_;
   s.reexecutions = reexecutions_;
   s.wasted_energy = wasted_energy_;

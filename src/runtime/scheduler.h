@@ -62,6 +62,19 @@ struct RuntimeConfig {
   bool share_fabric = true;              // UNILOGIC on/off
   SimDuration dispatcher_service = microseconds(2);  // centralized cost
   SimDuration poll_cost = microseconds(1);           // per polled worker
+  /// Admission control: a task arriving at a worker whose queue depth
+  /// (queued + running) has reached this limit is *shed* — dropped from
+  /// the pending set, counted in RuntimeStats::shed_tasks, and reported
+  /// to the shed handler so the application can fail the request instead
+  /// of letting the queue grow without bound. 0 disables (legacy).
+  std::size_t admission_limit = 0;
+  /// Request batching: when dispatch_overhead > 0, opening a batch costs
+  /// dispatch_overhead once, then up to batch_size queued tasks dispatch
+  /// back to back without re-paying it — the doorbell/submission
+  /// amortization serving workloads rely on. dispatch_overhead == 0
+  /// keeps the legacy immediate-dispatch behaviour byte-identical.
+  std::size_t batch_size = 1;
+  SimDuration dispatch_overhead = 0;
   /// Run a per-worker reconfiguration daemon (history-driven prefetch,
   /// §4.2): ticks opportunistically at dispatch points.
   bool enable_daemon = false;
@@ -97,6 +110,8 @@ struct RuntimeStats {
   std::uint64_t detections = 0;
   /// Tasks moved off a detected-dead worker to a survivor.
   std::uint64_t task_failovers = 0;
+  /// Tasks refused by admission control (queue depth at admission_limit).
+  std::uint64_t shed_tasks = 0;
   Samples queue_wait_ns;
   Samples turnaround_ns;
 };
@@ -127,6 +142,22 @@ class RuntimeSystem {
 
   /// Live fault injector (nullptr unless config.faults.enabled).
   FaultInjector* faults() { return injector_.get(); }
+
+  /// Called when a task's result is recorded, inside the completion event
+  /// at result.finished (same causal point as results_.push_back). Serving
+  /// layers use it to decode Task::payload and send responses; it runs on
+  /// this runtime's simulator, so it may post follow-on events. Unset
+  /// (default) keeps the completion path allocation-identical to legacy.
+  using CompletionHandler = std::function<void(const Task&, const TaskResult&)>;
+  void set_completion_handler(CompletionHandler handler) {
+    completion_handler_ = std::move(handler);
+  }
+
+  /// Called when admission control sheds a task (at the shed instant).
+  using ShedHandler = std::function<void(const Task&, SimTime)>;
+  void set_shed_handler(ShedHandler handler) {
+    shed_handler_ = std::move(handler);
+  }
 
   /// One recovered in-flight task: when its worker crashed, when the
   /// heartbeat monitor declared the worker dead, and where the task was
@@ -163,6 +194,9 @@ class RuntimeSystem {
     /// Crash awaiting detection (valid while pending_detect).
     bool pending_detect = false;
     SimTime crash_at = 0;
+    /// Tasks remaining in the open batch window (dispatch_overhead > 0):
+    /// while nonzero, dispatch() skips the batch-open overhead.
+    std::size_t batch_left = 0;
   };
 
   void arrive(std::size_t worker, Task task, int spill_hops);
@@ -216,6 +250,9 @@ class RuntimeSystem {
   std::map<TaskId, bool> forwarded_;
   std::uint64_t monitor_messages_ = 0;
   std::uint64_t pending_ = 0;
+  std::uint64_t shed_tasks_ = 0;
+  CompletionHandler completion_handler_;
+  ShedHandler shed_handler_;
 };
 
 }  // namespace ecoscale

@@ -106,15 +106,18 @@ ShardedRuntime::Stats ShardedRuntime::stats() const {
       nodes_.size(), Stats{},
       [&](std::size_t i) {
         Stats leaf;
-        leaf.makespan = nodes_[i].runtime->stats().makespan;
+        const RuntimeStats rs = nodes_[i].runtime->stats();
+        leaf.makespan = rs.makespan;
         leaf.energy = nodes_[i].machine->total_energy();
         leaf.tasks = nodes_[i].runtime->results().size();
+        leaf.shed_tasks = rs.shed_tasks;
         return leaf;
       },
       [](Stats a, Stats b) {
         a.makespan = std::max(a.makespan, b.makespan);
         a.energy += b.energy;
         a.tasks += b.tasks;
+        a.shed_tasks += b.shed_tasks;
         return a;
       });
   s.cross_posts = engine_->messages();

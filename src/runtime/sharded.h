@@ -111,6 +111,7 @@ class ShardedRuntime {
     SimTime makespan = 0;          // max over node makespans
     Picojoules energy = 0.0;       // machine energy, all nodes
     std::uint64_t tasks = 0;       // task results across nodes
+    std::uint64_t shed_tasks = 0;  // admission-control sheds, all nodes
     std::uint64_t cross_posts = 0; // mailbox messages (forwards + posts)
     std::uint64_t events = 0;      // simulator events, all shards
     std::uint64_t windows = 0;     // engine synchronization rounds

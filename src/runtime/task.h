@@ -1,6 +1,7 @@
 // Task vocabulary of the runtime system.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "address/address.h"
@@ -22,6 +23,11 @@ struct Task {
   WorkerCoord home;
   /// Release (arrival) time.
   SimTime release = 0;
+  /// Opaque application payload, carried untouched through routing,
+  /// spilling, and failover. Serving workloads pack request descriptors
+  /// (op, origin node, key, value) here and decode them in the
+  /// completion handler; the scheduler itself never reads it.
+  std::array<std::uint64_t, 2> payload{};
 };
 
 struct TaskResult {

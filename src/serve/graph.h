@@ -1,0 +1,123 @@
+// GAP-style graph analytics over the global address space.
+//
+// A CSR graph is laid out in UNIMEM: vertices block-partition into
+// contiguous ranges, one per Worker, and each Worker's range owns two
+// PGAS regions in its node's memory — the vertex-value array and the
+// adjacency slice. The engine runs level-synchronous pull algorithms
+// (BFS, PageRank, connected components): every iteration, each Worker
+// sweeps its vertices, streams its local adjacency, and reads neighbour
+// values with timed PgasSystem::load — a neighbour owned by another
+// Compute Node pays the full interconnect path, which is where the
+// remote-edge fraction and byte-hops numbers come from. Per-Worker
+// sim-time cursors advance through the accesses (the timed-PGAS idiom of
+// bench_unimem_coherence); the iteration barrier and every convergence
+// test (frontier count, rank delta, label changes) fold per-Worker
+// partials with common/reduce.h reduction trees, so results and timing
+// are pure functions of the graph and the machine.
+//
+// Algorithm updates are double-buffered (PageRank, CC) or monotonic with
+// a level predicate (BFS), so the sweep order inside an iteration can
+// never change the functional result — reference implementations in this
+// header give tests an oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "runtime/machine.h"
+
+namespace ecoscale::serve {
+
+struct CsrGraph {
+  std::size_t vertices = 0;
+  std::vector<std::uint64_t> row;  // vertices + 1 offsets
+  std::vector<std::uint32_t> col;  // neighbour lists, sorted per vertex
+  std::size_t edges() const { return col.size(); }
+};
+
+/// Deterministic synthetic graph: out-degrees ~ bounded Poisson around
+/// avg_degree, endpoints Zipf-skewed (skew > 0 concentrates edges on hub
+/// vertices), then symmetrized and deduplicated — undirected, so BFS and
+/// CC references are straightforward.
+CsrGraph make_skewed_graph(std::size_t vertices, double avg_degree,
+                           double skew, std::uint64_t seed);
+
+inline constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+struct GraphStats {
+  std::size_t iterations = 0;
+  SimTime time = 0;               // sim-time of the final barrier
+  std::uint64_t edge_reads = 0;   // neighbour-value loads issued
+  std::uint64_t remote_edge_reads = 0;
+  std::uint64_t byte_hops = 0;    // interconnect byte-hops over the run
+  double remote_fraction() const {
+    return edge_reads == 0 ? 0.0
+                           : static_cast<double>(remote_edge_reads) /
+                                 static_cast<double>(edge_reads);
+  }
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> dist;  // kUnreached if not reachable
+  GraphStats stats;
+};
+struct PagerankResult {
+  std::vector<double> rank;
+  GraphStats stats;
+};
+struct CcResult {
+  std::vector<std::uint32_t> label;  // min reachable vertex id
+  GraphStats stats;
+};
+
+class GraphEngine {
+ public:
+  /// Lays the graph out in `machine`'s PGAS. The machine should be a
+  /// multi-node one (this engine drives PgasSystem directly; it does not
+  /// use a Simulator or the task scheduler).
+  GraphEngine(Machine& machine, const CsrGraph& graph);
+
+  BfsResult bfs(std::uint32_t source);
+  PagerankResult pagerank(std::size_t iterations, double damping = 0.85);
+  /// Min-label propagation until a fixpoint.
+  CcResult connected_components();
+
+  std::size_t worker_count() const { return owners_.empty() ? 0 : workers_; }
+
+ private:
+  /// Contiguous vertex range of flat worker `w`.
+  std::size_t range_begin(std::size_t w) const {
+    return (graph_->vertices * w) / workers_;
+  }
+  std::size_t range_end(std::size_t w) const {
+    return (graph_->vertices * (w + 1)) / workers_;
+  }
+  GlobalAddress value_addr(std::size_t buffer, std::uint32_t v) const;
+  std::uint64_t read_value(std::size_t buffer, std::uint32_t v) const;
+  void write_value(std::size_t buffer, std::uint32_t v, std::uint64_t x);
+  /// Fill buffer `buffer` with `x` for every vertex.
+  void fill_values(std::size_t buffer, std::uint64_t x);
+  /// Reduction-tree max over per-worker cursors; aligns every cursor to
+  /// the barrier and prunes the machine's retired calendars.
+  SimTime barrier();
+
+  Machine& machine_;
+  const CsrGraph* graph_ = nullptr;
+  std::size_t workers_ = 0;
+  std::vector<std::uint32_t> owners_;        // vertex -> flat worker
+  std::vector<std::uint64_t> value_base_[2]; // per worker, raw address
+  std::vector<std::uint64_t> adj_base_;      // per worker, raw address
+  std::vector<SimTime> cursors_;             // per worker
+  GraphStats run_;  // accumulated by the sweep helpers of the current run
+};
+
+/// Single-threaded functional references (no machine, no timing).
+std::vector<std::uint32_t> reference_bfs(const CsrGraph& g,
+                                         std::uint32_t source);
+std::vector<double> reference_pagerank(const CsrGraph& g,
+                                       std::size_t iterations,
+                                       double damping = 0.85);
+std::vector<std::uint32_t> reference_cc(const CsrGraph& g);
+
+}  // namespace ecoscale::serve

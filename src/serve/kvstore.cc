@@ -1,0 +1,314 @@
+#include "serve/kvstore.h"
+
+#include <array>
+#include <cstring>
+#include <span>
+
+#include "common/check.h"
+#include "common/reduce.h"
+#include "obs/trace.h"
+
+namespace ecoscale::serve {
+
+namespace {
+
+/// splitmix64 — the same finalizer Rng seeds with; good avalanche, so the
+/// node/worker partition fields are decorrelated.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// payload[0] layout: [63:62] op, [61:44] origin, [43:0] key.
+constexpr std::uint64_t kKeyBits = 44;
+constexpr std::uint64_t kOriginBits = 18;
+constexpr std::uint64_t kKeyMask = (1ull << kKeyBits) - 1;
+constexpr std::uint64_t kOriginMask = (1ull << kOriginBits) - 1;
+
+std::uint64_t pack_request(KvOp op, std::size_t origin, std::uint64_t key) {
+  return (static_cast<std::uint64_t>(op) << 62) |
+         ((static_cast<std::uint64_t>(origin) & kOriginMask) << kKeyBits) |
+         (key & kKeyMask);
+}
+
+struct Decoded {
+  KvOp op;
+  std::size_t origin;
+  std::uint64_t key;
+};
+
+Decoded unpack_request(std::uint64_t word) {
+  return Decoded{static_cast<KvOp>(word >> 62),
+                 static_cast<std::size_t>((word >> kKeyBits) & kOriginMask),
+                 word & kKeyMask};
+}
+
+/// Fixed functional slot: [present, value], 16 bytes.
+constexpr Bytes kSlotBytes = 16;
+
+struct ServeTraceNames {
+  CounterId apply = CounterRegistry::intern("serve.apply");
+  CounterId shed = CounterRegistry::intern("serve.shed");
+};
+[[maybe_unused]] const ServeTraceNames& serve_trace_names() {
+  static const ServeTraceNames names;
+  return names;
+}
+
+}  // namespace
+
+const char* kv_op_name(KvOp op) {
+  switch (op) {
+    case KvOp::kGet: return "get";
+    case KvOp::kSet: return "set";
+    case KvOp::kDelete: return "del";
+  }
+  return "?";
+}
+
+KernelIR make_kv_kernel() {
+  KernelIR k;
+  k.name = "kv.request";
+  k.id = 0x5E27;
+  k.ops.int_add = 6;
+  k.ops.int_mul = 1;
+  k.ops.compare = 4;
+  k.loads = 2;
+  k.stores = 1;
+  k.bytes_in = 64;
+  k.bytes_out = 16;
+  k.cpu_cycles_per_item = 3.0;
+  return k;
+}
+
+KvStore::KvStore(ShardedRuntime& rt, KvConfig config)
+    : rt_(rt), config_(config), kernel_(make_kv_kernel()) {
+  nodes_ = rt_.node_count();
+  ECO_CHECK_MSG(config_.key_space > 0 && config_.key_space <= kKeyMask,
+                "key_space must fit the 44-bit payload key field");
+  ECO_CHECK_MSG(nodes_ <= kOriginMask, "too many nodes for payload origin");
+  ECO_CHECK_MSG(
+      rt_.runtime(0).config().distribution == DistributionPolicy::kHomeOnly,
+      "KvStore requires home-only distribution: spilling a key off its "
+      "owning worker would break per-key serialization");
+
+  const std::size_t per_node = rt_.machine(0).workers_per_node();
+
+  // Partition pass 1: count keys per (node, worker).
+  std::vector<std::vector<std::uint64_t>> counts(
+      nodes_, std::vector<std::uint64_t>(per_node, 0));
+  owner_node_of_key_.resize(config_.key_space);
+  std::vector<std::uint32_t> worker_of_key(config_.key_space);
+  for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+    const std::uint64_t h = mix64(key);
+    const auto node = static_cast<std::uint32_t>(h % nodes_);
+    const auto worker = static_cast<std::uint32_t>((h >> 32) % per_node);
+    owner_node_of_key_[key] = node;
+    worker_of_key[key] = worker;
+    ++counts[node][worker];
+  }
+  // Pass 2: one PGAS region per (node, worker) in that node's private
+  // UNIMEM domain (the shard is the node, so node-local coordinates).
+  std::vector<std::vector<GlobalAddress>> base(
+      nodes_, std::vector<GlobalAddress>(per_node));
+  for (std::size_t n = 0; n < nodes_; ++n) {
+    for (std::size_t w = 0; w < per_node; ++w) {
+      if (counts[n][w] == 0) continue;
+      base[n][w] = rt_.machine(n).pgas().alloc(
+          0, static_cast<WorkerId>(w), counts[n][w] * kSlotBytes);
+    }
+  }
+  // Pass 3: assign slots in key order.
+  slot_addr_of_key_.resize(config_.key_space);
+  std::vector<std::vector<std::uint64_t>> cursor(
+      nodes_, std::vector<std::uint64_t>(per_node, 0));
+  for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+    const std::uint32_t n = owner_node_of_key_[key];
+    const std::uint32_t w = worker_of_key[key];
+    slot_addr_of_key_[key] =
+        (base[n][w] + cursor[n][w] * kSlotBytes).raw();
+    ++cursor[n][w];
+  }
+
+  apply_log_.resize(nodes_);
+  sheds_.assign(nodes_, 0);
+
+  rt_.register_kernel(kernel_, /*variants=*/{});
+  for (std::size_t n = 0; n < nodes_; ++n) {
+    rt_.runtime(n).set_completion_handler(
+        [this, n](const Task& task, const TaskResult& result) {
+          if (task.kernel == kernel_.id) on_complete(n, task, result);
+        });
+    rt_.runtime(n).set_shed_handler(
+        [this, n](const Task& task, SimTime at) {
+          if (task.kernel == kernel_.id) on_shed(n, task, at);
+        });
+  }
+}
+
+void KvStore::issue(std::size_t origin, KvOp op, std::uint64_t key,
+                    std::uint64_t value, TaskId request) {
+  ECO_CHECK(origin < nodes_);
+  ECO_CHECK(key < config_.key_space);
+  ECO_CHECK_MSG(request != 0, "request ids must be nonzero");
+  const std::size_t owner = owner_node_of_key_[key];
+  const GlobalAddress slot = GlobalAddress::from_raw(slot_addr_of_key_[key]);
+
+  Task task;
+  task.id = request;
+  task.kernel = kernel_.id;
+  task.items = config_.service_items;
+  task.features.items = static_cast<double>(config_.service_items);
+  task.features.bytes = static_cast<double>(config_.value_bytes);
+  task.home = WorkerCoord{0, slot.worker()};  // node-local owning worker
+  task.payload[0] = pack_request(op, origin, key);
+  task.payload[1] = value;
+  if (owner == origin) {
+    task.release = rt_.shard(origin).now();
+    rt_.submit(origin, task);
+  } else {
+    // The cross-node hop must depart from an action executing on the
+    // origin shard (ShardedSimulator::post's contract); wrapping in a
+    // same-time origin event keeps issue() valid before run() too.
+    Simulator& shard = rt_.shard(origin);
+    shard.schedule_at(shard.now(), [this, origin, owner, task] {
+      rt_.post_task(origin, owner, task);
+    });
+  }
+}
+
+void KvStore::on_complete(std::size_t owner, const Task& task,
+                          const TaskResult& result) {
+  const Decoded req = unpack_request(task.payload[0]);
+  PgasSystem& pgas = rt_.machine(owner).pgas();
+  const GlobalAddress slot =
+      GlobalAddress::from_raw(slot_addr_of_key_[req.key]);
+  const WorkerCoord who = pgas.coord(result.executed_on);
+
+  // Timed storage access at the worker that executed the request: GET
+  // reads the value, SET/DELETE write it. The access is issued at the
+  // kernel's finish (we are inside the completion event, so now() ==
+  // result.finished) and its finish is when the response can depart.
+  const MemAccess acc =
+      (req.op == KvOp::kGet)
+          ? pgas.load(who, slot, config_.value_bytes, result.finished)
+          : pgas.store(who, slot, config_.value_bytes, result.finished);
+
+  // Functional apply on the 16-byte slot [present, value].
+  std::array<std::uint64_t, 2> words{};
+  pgas.read_bytes(slot,
+                  std::span<std::uint8_t>(
+                      reinterpret_cast<std::uint8_t*>(words.data()),
+                      static_cast<std::size_t>(kSlotBytes)));
+  KvApplyRecord rec;
+  rec.at = acc.finish;
+  rec.request = task.id;
+  rec.key = req.key;
+  rec.op = req.op;
+  switch (req.op) {
+    case KvOp::kGet:
+      rec.found = words[0] != 0;
+      rec.returned = rec.found ? words[1] : 0;
+      break;
+    case KvOp::kSet:
+      rec.value = task.payload[1];
+      words[0] = 1;
+      words[1] = task.payload[1];
+      break;
+    case KvOp::kDelete:
+      rec.found = words[0] != 0;
+      words[0] = 0;
+      words[1] = 0;
+      break;
+  }
+  if (req.op != KvOp::kGet) {
+    pgas.write_bytes(slot,
+                     std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(words.data()),
+                         static_cast<std::size_t>(kSlotBytes)));
+  }
+  apply_log_[owner].push_back(rec);
+  ECO_TRACE_INSTANT(obs::Cat::kServe, serve_trace_names().apply,
+                    (obs::Lane{static_cast<std::uint16_t>(owner),
+                               static_cast<std::uint16_t>(who.worker)}),
+                    acc.finish, task.id);
+
+  KvResponse resp;
+  resp.request = task.id;
+  resp.key = req.key;
+  resp.op = req.op;
+  resp.found = rec.found;
+  resp.value = (req.op == KvOp::kGet) ? rec.returned : rec.value;
+  respond(owner, req.origin, resp, acc.finish);
+}
+
+void KvStore::on_shed(std::size_t owner, const Task& task, SimTime at) {
+  const Decoded req = unpack_request(task.payload[0]);
+  ++sheds_[owner];
+  ECO_TRACE_INSTANT(obs::Cat::kServe, serve_trace_names().shed,
+                    (obs::Lane{static_cast<std::uint16_t>(owner), 0}), at,
+                    task.id);
+  KvResponse resp;
+  resp.request = task.id;
+  resp.key = req.key;
+  resp.op = req.op;
+  resp.shed = true;
+  respond(owner, req.origin, resp, at);
+}
+
+void KvStore::respond(std::size_t owner, std::size_t origin, KvResponse resp,
+                      SimTime depart) {
+  if (!response_handler_) return;
+  auto deliver = [this, origin, resp]() mutable {
+    resp.completed = rt_.shard(origin).now();
+    response_handler_(origin, resp);
+  };
+  if (origin == owner) {
+    rt_.shard(owner).schedule_at(depart, std::move(deliver));
+  } else {
+    // Cross-node reply: departs the owner at `depart`, pays the
+    // inter-node head latency through the engine mailboxes.
+    const SimTime now = rt_.shard(owner).now();
+    rt_.post(owner, origin, depart - now, std::move(deliver));
+  }
+}
+
+std::uint64_t KvStore::sheds() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sheds_) total += s;
+  return total;
+}
+
+std::uint64_t KvStore::apply_log_hash() const {
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  auto mix_word = [](std::uint64_t h, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  // Per-node FNV streams folded with a balanced deterministic tree: the
+  // result depends only on the logs' contents and the node count.
+  return reduce_tree<std::uint64_t>(
+      nodes_, kFnvOffset,
+      [&](std::size_t n) {
+        std::uint64_t h = kFnvOffset;
+        for (const KvApplyRecord& r : apply_log_[n]) {
+          h = mix_word(h, r.at);
+          h = mix_word(h, r.request);
+          h = mix_word(h, r.key);
+          h = mix_word(h, static_cast<std::uint64_t>(r.op));
+          h = mix_word(h, r.value);
+          h = mix_word(h, r.found);
+          h = mix_word(h, r.returned);
+        }
+        return h;
+      },
+      [&](std::uint64_t a, std::uint64_t b) { return mix_word(a, b); });
+}
+
+}  // namespace ecoscale::serve

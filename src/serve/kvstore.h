@@ -1,0 +1,130 @@
+// Partitioned key-value service over the UNIMEM PGAS (ROADMAP item 1).
+//
+// The memcached shape on an ECOSCALE machine: keys hash-partition across
+// Compute Nodes and across Workers within each node, every key owning a
+// fixed 16-byte slot in its home Worker's PGAS region. A request is a
+// Task — GET/SET/DELETE packed into Task::payload — dispatched through
+// ShardedRuntime::post_task, so it pays the inter-node head latency on
+// the way in, queues at the owning Worker (per-node request queues), and
+// rides the scheduler's request batching and admission control
+// (RuntimeConfig::batch_size / admission_limit). Service cost is the KV
+// kernel's software execution; the storage access itself is a timed
+// PgasSystem load/store issued at completion, so cache hits, DRAM
+// occupancy and (for misrouted accesses) interconnect time are all paid.
+//
+// Every mutable structure is shard-owned: the apply log and shed counter
+// of node N are touched only by events executing on shard N, responses
+// are delivered as origin-shard events, and the per-node logs fold into
+// one fingerprint through a deterministic reduction tree — which is what
+// keeps `--sim-threads N` byte-identical to 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "hls/ir.h"
+#include "runtime/sharded.h"
+
+namespace ecoscale::serve {
+
+enum class KvOp : std::uint8_t { kGet = 0, kSet = 1, kDelete = 2 };
+
+const char* kv_op_name(KvOp op);
+
+struct KvConfig {
+  /// Distinct keys; must fit the payload's 44-bit key field.
+  std::uint64_t key_space = 1ull << 16;
+  /// Bytes a GET reads / a SET writes at the owning worker (timed access
+  /// size; the functional slot is fixed at 16 bytes: present + value).
+  Bytes value_bytes = 64;
+  /// Work items of the KV kernel per request — the CPU service cost.
+  std::uint64_t service_items = 32;
+};
+
+/// One applied operation, recorded at the owning node in apply order.
+/// The per-key serialization order is the order of this log filtered to
+/// the key (every key lives on exactly one worker and home-only
+/// distribution keeps its requests on that worker's serial queue).
+struct KvApplyRecord {
+  SimTime at = 0;          // storage access finish at the owner
+  TaskId request = 0;
+  std::uint64_t key = 0;
+  KvOp op = KvOp::kGet;
+  std::uint64_t value = 0;     // SET: value stored
+  bool found = false;          // GET/DELETE: key present before the op
+  std::uint64_t returned = 0;  // GET: value read (0 if absent)
+};
+
+/// What the origin node hears back, delivered on the origin's shard.
+struct KvResponse {
+  TaskId request = 0;
+  std::uint64_t key = 0;
+  KvOp op = KvOp::kGet;
+  bool shed = false;   // refused by admission control, not applied
+  bool found = false;
+  std::uint64_t value = 0;
+  SimTime completed = 0;  // arrival time back at the origin
+};
+
+class KvStore {
+ public:
+  KvStore(ShardedRuntime& rt, KvConfig config);
+
+  /// Invoked on the *origin* shard when a response (or shed notice)
+  /// arrives. Safe to issue follow-on requests from inside.
+  using ResponseHandler =
+      std::function<void(std::size_t origin, const KvResponse&)>;
+  void set_response_handler(ResponseHandler handler) {
+    response_handler_ = std::move(handler);
+  }
+
+  /// Issue a request from node `origin`. Must be called either before
+  /// ShardedRuntime::run() or from inside an action executing on shard
+  /// `origin` (the cross-node hop is a post_task from that shard).
+  /// `request` must be nonzero and unique.
+  void issue(std::size_t origin, KvOp op, std::uint64_t key,
+             std::uint64_t value, TaskId request);
+
+  std::size_t owner_of(std::uint64_t key) const {
+    return owner_node_of_key_[key];
+  }
+  const KvConfig& config() const { return config_; }
+  const KernelIR& kernel() const { return kernel_; }
+
+  const std::vector<KvApplyRecord>& apply_log(std::size_t node) const {
+    return apply_log_[node];
+  }
+  /// Admission-control sheds observed by this store, all nodes.
+  std::uint64_t sheds() const;
+  /// Deterministic fingerprint of every node's apply log (reduction-tree
+  /// fold of per-node FNV hashes): the serve determinism gates compare
+  /// this across --sim-threads settings.
+  std::uint64_t apply_log_hash() const;
+
+ private:
+  void on_complete(std::size_t owner, const Task& task,
+                   const TaskResult& result);
+  void on_shed(std::size_t owner, const Task& task, SimTime at);
+  /// Send `resp` back to `origin`, departing the owner at `depart`.
+  void respond(std::size_t owner, std::size_t origin, KvResponse resp,
+               SimTime depart);
+
+  ShardedRuntime& rt_;
+  KvConfig config_;
+  KernelIR kernel_;
+  std::size_t nodes_ = 0;
+  /// Host-side partition tables, immutable after construction.
+  std::vector<std::uint32_t> owner_node_of_key_;
+  std::vector<std::uint64_t> slot_addr_of_key_;  // raw GlobalAddress
+  /// Shard-owned: index N is written only by events on shard N.
+  std::vector<std::vector<KvApplyRecord>> apply_log_;
+  std::vector<std::uint64_t> sheds_;
+  ResponseHandler response_handler_;
+};
+
+/// The KV request kernel (integer compare/hash mix, CPU-bound service).
+KernelIR make_kv_kernel();
+
+}  // namespace ecoscale::serve

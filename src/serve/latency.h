@@ -1,0 +1,46 @@
+// Tail-latency reporting over common/latency.h histograms.
+//
+// Load generators record per-request sim-time latencies (picoseconds)
+// into per-origin LatencyHistograms; this header is the reporting edge:
+// merge, summarize to the p50/p99/p999 numbers the serve benches print,
+// and derive goodput from the completion span.
+#pragma once
+
+#include <cstdint>
+
+#include "common/latency.h"
+#include "common/units.h"
+
+namespace ecoscale::serve {
+
+struct TailSummary {
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+/// Percentiles of a histogram recorded in picoseconds, reported in
+/// nanoseconds (quantile resolution is relative, so the unit conversion
+/// loses nothing beyond the histogram's own 2^-kSubBits rounding).
+inline TailSummary summarize(const LatencyHistogram& h) {
+  TailSummary s;
+  s.count = h.count();
+  s.mean_ns = h.mean() / 1e3;
+  s.p50_ns = static_cast<double>(h.percentile(50.0)) / 1e3;
+  s.p99_ns = static_cast<double>(h.percentile(99.0)) / 1e3;
+  s.p999_ns = static_cast<double>(h.percentile(99.9)) / 1e3;
+  s.max_ns = static_cast<double>(h.max()) / 1e3;
+  return s;
+}
+
+/// Completed requests per second over a sim-time span.
+inline double goodput_per_sec(std::uint64_t completed, SimTime span) {
+  if (span == 0) return 0.0;
+  return static_cast<double>(completed) /
+         (static_cast<double>(span) / 1e12);
+}
+
+}  // namespace ecoscale::serve

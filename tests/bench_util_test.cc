@@ -193,5 +193,53 @@ TEST(Flags, InitParsesJsonAndThreads) {
   EXPECT_TRUE(bench::options().json_path.empty());
 }
 
+TEST(Flags, InitParsesServeLoadFlags) {
+  OptionsGuard guard;
+  bench::options() = bench::Options{};
+  std::string a0 = "bench", a1 = "--offered-load", a2 = "2.5e6",
+              a3 = "--zipf", a4 = "0.99";
+  char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data(), a4.data()};
+  bench::init(5, argv);
+  EXPECT_DOUBLE_EQ(bench::options().offered_load, 2.5e6);
+  EXPECT_DOUBLE_EQ(bench::options().zipf, 0.99);
+}
+
+TEST(Flags, MalformedLoadValueWarnsAndKeepsDefault) {
+  for (const char* bad : {"fast", "2..5", "1e", "", "-3", "nan", "inf",
+                          "4x"}) {
+    OptionsGuard guard;
+    bench::options() = bench::Options{};
+    double out = 123.0;
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(bench::parse_load_flag("--offered-load", bad, out))
+        << "value was \"" << bad << "\"";
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("malformed --offered-load"), std::string::npos)
+        << "value was \"" << bad << "\"";
+    EXPECT_DOUBLE_EQ(out, 123.0) << "value was \"" << bad << "\"";
+  }
+}
+
+TEST(Flags, MalformedLoadFlagViaInitKeepsDefaults) {
+  OptionsGuard guard;
+  bench::options() = bench::Options{};
+  std::string a0 = "bench", a1 = "--offered-load", a2 = "lots",
+              a3 = "--zipf", a4 = "-0.5";
+  char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data(), a4.data()};
+  ::testing::internal::CaptureStderr();
+  bench::init(5, argv);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("malformed --offered-load"), std::string::npos);
+  EXPECT_NE(err.find("malformed --zipf"), std::string::npos);
+  EXPECT_DOUBLE_EQ(bench::options().offered_load, 0.0);
+  EXPECT_DOUBLE_EQ(bench::options().zipf, -1.0);
+}
+
+TEST(Flags, ZeroLoadParsesAsBenchDefaultSweep) {
+  double out = 9.0;
+  EXPECT_TRUE(bench::parse_load_flag("--offered-load", "0", out));
+  EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
 }  // namespace
 }  // namespace ecoscale

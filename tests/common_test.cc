@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
 #include "common/energy.h"
+#include "common/latency.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -124,6 +128,97 @@ TEST(Rng, ZipfZeroSkewIsUniformish) {
   for (const int c : counts) EXPECT_NEAR(c, 2000, 200);
 }
 
+TEST(Rng, BoundedPoissonMeanAndBound) {
+  Rng rng(31);
+  const double mean = 3.0;
+  const std::uint64_t bound = 20;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = rng.bounded_poisson(mean, bound);
+    EXPECT_LE(k, bound);
+    sum += static_cast<double>(k);
+  }
+  EXPECT_NEAR(sum / n, mean, 0.1);
+}
+
+TEST(Rng, BoundedPoissonChiSquaredAgainstPmf) {
+  // Pearson fit against the Poisson pmf for k = 0..7 (tail pooled):
+  // chi^2 with 8 bins has 7 dof; 24.3 is the 0.1% critical value, so a
+  // correct sampler fails this about once in a thousand seeds.
+  Rng rng(37);
+  const double mean = 2.0;
+  const int n = 50000;
+  std::vector<double> observed(9, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = rng.bounded_poisson(mean, 100);
+    observed[std::min<std::uint64_t>(k, 8)] += 1.0;
+  }
+  double chi2 = 0.0;
+  double tail = static_cast<double>(n);
+  double pmf = std::exp(-mean);  // P(0)
+  for (int k = 0; k < 8; ++k) {
+    const double expected = pmf * n;
+    chi2 += (observed[k] - expected) * (observed[k] - expected) / expected;
+    tail -= expected;
+    pmf *= mean / (k + 1);
+  }
+  chi2 += (observed[8] - tail) * (observed[8] - tail) / std::max(tail, 1.0);
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(Rng, BoundedPoissonZeroMeanAndTinyBound) {
+  Rng rng(41);
+  EXPECT_EQ(rng.bounded_poisson(0.0, 8), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(rng.bounded_poisson(50.0, 3), 3u);
+  }
+}
+
+TEST(ZipfSampler, MatchesTheoreticalFrequencies) {
+  // Chi-squared-style fit against p(r) ~ 1/(r+1)^s over 8 ranks.
+  const std::size_t ranks = 8;
+  const double s = 1.0;
+  ZipfSampler zipf(ranks, s);
+  Rng rng(43);
+  const int n = 50000;
+  std::vector<double> observed(ranks, 0.0);
+  for (int i = 0; i < n; ++i) ++observed[zipf(rng)];
+  double norm = 0.0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    norm += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  double chi2 = 0.0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const double expected =
+        n / (std::pow(static_cast<double>(r + 1), s) * norm);
+    chi2 += (observed[r] - expected) * (observed[r] - expected) / expected;
+  }
+  EXPECT_LT(chi2, 24.3);  // 7 dof, 0.1% critical value
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniformAndSharedAcrossStreams) {
+  const ZipfSampler zipf(4, 0.0);
+  Rng a(47);
+  Rng b(53);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[zipf(a)];  // one immutable sampler, two rng streams
+    ++counts[zipf(b)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+TEST(ZipfSampler, StrongSkewConcentratesOnRankZero) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(59);
+  int rank0 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf(rng) == 0) ++rank0;
+  }
+  EXPECT_GT(rank0, 2000);  // ~36% of mass at s=1.2 over 1000 ranks
+}
+
 TEST(Rng, ShufflePreservesElements) {
   Rng rng(29);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
@@ -131,6 +226,92 @@ TEST(Rng, ShufflePreservesElements) {
   rng.shuffle(v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, sorted);
+}
+
+TEST(LatencyHistogram, ExactBelowSubBucketRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) h.record(v);
+  EXPECT_EQ(h.count(), LatencyHistogram::kSub);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSub - 1);
+  // Values below kSub land in exact unit buckets.
+  EXPECT_EQ(h.percentile(50.0), LatencyHistogram::kSub / 2 - 1);
+  EXPECT_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(LatencyHistogram, RelativeQuantileErrorBounded) {
+  LatencyHistogram h;
+  Rng rng(61);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform spread over ~6 decades, the shape latencies take.
+    const std::uint64_t v =
+        static_cast<std::uint64_t>(std::exp(rng.uniform() * 14.0)) + 1;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const std::size_t rank = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(std::ceil(p / 100.0 * values.size())) - 1);
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = static_cast<double>(h.percentile(p));
+    // Bucket lower bound: under-reports by at most one sub-bucket width.
+    EXPECT_LE(approx, exact * 1.001 + 1.0) << "p" << p;
+    EXPECT_GE(approx, exact * (1.0 - 2.0 / LatencyHistogram::kSub) - 1.0)
+        << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesSequentialAndIsOrderFree) {
+  LatencyHistogram whole;
+  LatencyHistogram a;
+  LatencyHistogram b;
+  Rng rng(67);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(1u << 20) + 1;
+    whole.record(v);
+    (i % 2 ? a : b).record(v);
+  }
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.fingerprint(), whole.fingerprint());
+  EXPECT_EQ(ba.fingerprint(), whole.fingerprint());
+  EXPECT_EQ(ab.percentile(99.0), whole.percentile(99.0));
+  EXPECT_EQ(ab.count(), whole.count());
+  EXPECT_EQ(ab.sum(), whole.sum());
+  EXPECT_EQ(ab.min(), whole.min());
+  EXPECT_EQ(ab.max(), whole.max());
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  const std::uint64_t empty_print = h.fingerprint();
+  h.record(12345);
+  EXPECT_NE(h.fingerprint(), empty_print);
+  h.reset();
+  EXPECT_EQ(h.fingerprint(), empty_print);
+}
+
+TEST(LatencyHistogram, IndexAndBucketLowRoundTrip) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 31ull, 32ull, 33ull, 1000ull, (1ull << 32) + 12345ull,
+        ~0ull}) {
+    const std::size_t idx = LatencyHistogram::index_of(v);
+    const std::uint64_t low = LatencyHistogram::bucket_low(idx);
+    EXPECT_LE(low, v);
+    EXPECT_EQ(LatencyHistogram::index_of(low), idx);
+    if (idx + 1 < LatencyHistogram::kBucketCount) {
+      EXPECT_GT(LatencyHistogram::bucket_low(idx + 1), v);
+    }
+  }
 }
 
 TEST(RunningStat, BasicMoments) {
