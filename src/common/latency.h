@@ -56,12 +56,30 @@ class LatencyHistogram {
   /// cumulative count reaches ceil(p/100 * count). The returned value is
   /// the bucket's lower bound clamped to [min, max], so percentile(100)
   /// == max() exactly and low percentiles never under-run min().
+  ///
+  /// The rank is computed in exact integer arithmetic: p is snapped to
+  /// parts-per-1e7 (1e-5 percent resolution, so p999 == 99.9 is exact)
+  /// and the ceiling is an integer division. The previous
+  /// `frac * count + 0.9999999` double expression could shift the rank by
+  /// a sample once counts grow past the point where `frac * count` picks
+  /// up rounding error (~2^23 samples), and the ad-hoc epsilon was never
+  /// an exact ceil at boundary ranks.
   std::uint64_t percentile(double p) const {
     if (count_ == 0) return 0;
-    const double frac = std::clamp(p, 0.0, 100.0) / 100.0;
-    std::uint64_t target = static_cast<std::uint64_t>(
-        frac * static_cast<double>(count_) + 0.9999999);
+    constexpr std::uint64_t kDen = 10'000'000;  // percent in units of 1e-5
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const auto num =
+        static_cast<std::uint64_t>(clamped * 100'000.0 + 0.5);  // <= kDen
+    // ceil(count * num / kDen) without overflow: split count into
+    // quotient/remainder by kDen. q * num <= count * (num / kDen) <= count,
+    // and r * num < kDen^2 = 1e14, so both terms fit in 64 bits.
+    const std::uint64_t q = count_ / kDen;
+    const std::uint64_t r = count_ % kDen;
+    std::uint64_t target = q * num + (r * num + kDen - 1) / kDen;
     target = std::clamp<std::uint64_t>(target, 1, count_);
+    // The top rank is the maximum sample, which is tracked exactly —
+    // don't round it down to its bucket's lower bound.
+    if (target == count_) return max_;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBucketCount; ++i) {
       seen += buckets_[i];

@@ -1,0 +1,59 @@
+// Exhaustive litmus executor over the real PgasSystem.
+//
+// For small programs (a few ops per thread) the executor enumerates EVERY
+// interleaving of the threads' program-order op streams, runs each one
+// against a fresh PgasSystem — real access timing, real migrate_page, the
+// real dead-owner retry/failover path, with a HealthRegistry scripted by
+// the program's crash/repair edges — and collects the set of outcomes the
+// implementation actually produced. Each interleaving is executed
+// serially under a monotone time cursor, so the observed set is the
+// implementation's sequentially-reachable outcomes; the oracle's allowed
+// set (a superset — partition consistency admits more) must contain it.
+// Randomized, genuinely-concurrent schedules are the sharded executor's
+// job (sharded.h).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "litmus/oracle.h"
+#include "litmus/program.h"
+
+namespace ecoscale::litmus {
+
+struct ExhaustiveOptions {
+  /// Hard cap on the interleaving count (checked up front from the
+  /// multinomial): 2 threads x 4 ops is 70, 3 x 3 is 1680, 4 x 3 is
+  /// 369600. Programs past the cap belong to the randomized executor.
+  std::size_t max_interleavings = 500'000;
+};
+
+struct ExhaustiveResult {
+  std::set<Outcome> outcomes;
+  std::size_t interleavings = 0;
+  // PgasObserver traffic accumulated across all interleavings — pins
+  // that the observation hooks actually fire on every path the litmus
+  // exercises.
+  std::uint64_t observed_accesses = 0;
+  std::uint64_t ownership_changes = 0;  // migrations + failovers
+  std::uint64_t retries = 0;            // dead-owner retry attempts
+};
+
+/// Run ONE interleaving, given as a thread-id sequence in which thread i
+/// appears exactly program.threads[i].ops.size() times (its ops run in
+/// program order at those positions).
+Outcome run_schedule(const LitmusProgram& program,
+                     const std::vector<std::size_t>& schedule);
+
+/// Enumerate and run every interleaving.
+ExhaustiveResult run_exhaustive(const LitmusProgram& program,
+                                ExhaustiveOptions options = {});
+
+/// run_exhaustive, then assert every observed outcome is oracle-allowed
+/// (throws CheckError on the first violation).
+ExhaustiveResult check_exhaustive(const LitmusProgram& program,
+                                  const Oracle& oracle,
+                                  ExhaustiveOptions options = {});
+
+}  // namespace ecoscale::litmus

@@ -1,0 +1,135 @@
+#include "litmus/oracle.h"
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecoscale::litmus {
+
+namespace {
+
+constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+/// One memory op projected onto a single page's linearization problem.
+struct PageOp {
+  const Op* op = nullptr;
+  std::size_t slot = kNoSlot;  // global observation slot, if observing
+};
+
+/// Every linearization result for one page: observed values in the page's
+/// canonical (thread, program-order) slot order, then the kVarsPerPage
+/// final values.
+using PagePartial = std::vector<std::uint64_t>;
+
+}  // namespace
+
+Oracle::Oracle(const LitmusProgram& program) : program_(program) {
+  program_.validate();
+
+  // Global observation-slot layout: thread-major, program order.
+  std::vector<std::vector<std::size_t>> slot_of(program_.threads.size());
+  std::size_t next_slot = 0;
+  for (std::size_t t = 0; t < program_.threads.size(); ++t) {
+    for (const Op& op : program_.threads[t].ops) {
+      slot_of[t].push_back(op.observes() ? next_slot++ : kNoSlot);
+    }
+  }
+  const std::size_t obs_slots = next_slot;
+
+  // The allowed set is the cross-product of per-page results; build it
+  // page by page over a growing set of partially-filled outcomes.
+  std::set<Outcome> outcomes;
+  outcomes.insert(Outcome(program_.outcome_size(), 0));
+
+  for (std::size_t p = 0; p < program_.pages; ++p) {
+    // This page's per-thread program-order op lists plus the canonical
+    // order its observation slots appear in a PagePartial. Each observing
+    // op is tagged with its canonical position so DFS results land in
+    // slot order no matter which linearization produced them.
+    std::vector<std::vector<PageOp>> per_thread(program_.threads.size());
+    std::vector<std::size_t> page_slots;
+    for (std::size_t t = 0; t < program_.threads.size(); ++t) {
+      for (std::size_t i = 0; i < program_.threads[t].ops.size(); ++i) {
+        const Op& op = program_.threads[t].ops[i];
+        if (!op.is_memory() || op.page != p) continue;
+        PageOp ref{&op, kNoSlot};
+        if (op.observes()) {
+          ref.slot = page_slots.size();  // canonical index within the page
+          page_slots.push_back(slot_of[t][i]);
+        }
+        per_thread[t].push_back(ref);
+      }
+    }
+
+    // Enumerate every interleaving of the per-thread lists (program order
+    // within a thread is fixed — that is the model's per-thread rule).
+    std::set<PagePartial> partials;
+    std::vector<std::size_t> cursor(program_.threads.size(), 0);
+    std::uint64_t vars[kVarsPerPage] = {};
+    std::vector<std::uint64_t> obs(page_slots.size(), 0);
+    std::function<void()> dfs = [&] {
+      bool done = true;
+      for (std::size_t t = 0; t < per_thread.size(); ++t) {
+        if (cursor[t] >= per_thread[t].size()) continue;
+        done = false;
+        const PageOp& next = per_thread[t][cursor[t]];
+        std::uint64_t saved[kVarsPerPage];
+        std::memcpy(saved, vars, sizeof saved);
+        const std::uint64_t observed = apply_memory_op(*next.op, vars);
+        std::uint64_t saved_obs = 0;
+        if (next.slot != kNoSlot) {
+          saved_obs = obs[next.slot];
+          obs[next.slot] = observed;
+        }
+        ++cursor[t];
+        dfs();
+        --cursor[t];
+        if (next.slot != kNoSlot) obs[next.slot] = saved_obs;
+        std::memcpy(vars, saved, sizeof saved);
+      }
+      if (done) {
+        ++linearizations_;
+        PagePartial full = obs;
+        full.insert(full.end(), vars, vars + kVarsPerPage);
+        partials.insert(std::move(full));
+      }
+    };
+    dfs();
+
+    // Graft this page's results onto every outcome built so far. The
+    // trace values land in the page's global observation slots; finals
+    // land in the page's final-value block.
+    std::set<Outcome> grown;
+    for (const Outcome& base : outcomes) {
+      for (const PagePartial& part : partials) {
+        Outcome o = base;
+        for (std::size_t i = 0; i < page_slots.size(); ++i) {
+          o[page_slots[i]] = part[i];
+        }
+        for (std::size_t v = 0; v < kVarsPerPage; ++v) {
+          o[obs_slots + p * kVarsPerPage + v] = part[page_slots.size() + v];
+        }
+        grown.insert(std::move(o));
+      }
+    }
+    outcomes = std::move(grown);
+  }
+
+  allowed_ = std::move(outcomes);
+}
+
+void check_outcomes(const Oracle& oracle, const std::set<Outcome>& observed,
+                    const std::string& executor) {
+  for (const Outcome& o : observed) {
+    ECO_CHECK_MSG(oracle.allows(o),
+                  executor << " produced an outcome the memory model "
+                              "forbids for '"
+                           << oracle.program().name
+                           << "': " << format_outcome(oracle.program(), o));
+  }
+}
+
+}  // namespace ecoscale::litmus

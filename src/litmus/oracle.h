@@ -1,0 +1,52 @@
+// Memory-model oracle: the outcomes partition consistency allows.
+//
+// The UNIMEM model (DESIGN.md §7.10) is a partition-consistency variant
+// with pages as the partitions: every page has ONE total order over the
+// memory operations that touch it — the serialization order at whichever
+// node owns the page when each operation lands — and that order respects
+// every thread's program order. Orders of different pages are independent
+// (no cross-page constraint; SC is strictly stronger). Page migration,
+// owner crash, repair and dead-owner failover are *value-neutral*: they
+// re-home the serialization point but neither reorder the operations a
+// page has already serialized nor drop or duplicate any.
+//
+// The oracle computes the full allowed set by enumerating, per page, every
+// linearization of that page's operations that respects program order,
+// evaluating it against zero-initialized variables, and taking the
+// cross-product of the per-page results (independence is exactly what
+// makes the product form correct). Executors then assert that every
+// outcome they actually observe is in the set.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "litmus/program.h"
+
+namespace ecoscale::litmus {
+
+class Oracle {
+ public:
+  explicit Oracle(const LitmusProgram& program);
+
+  const LitmusProgram& program() const { return program_; }
+  const std::set<Outcome>& allowed() const { return allowed_; }
+  bool allows(const Outcome& outcome) const {
+    return allowed_.count(outcome) != 0;
+  }
+  /// Per-page linearizations evaluated (before cross-product and dedup).
+  std::size_t linearizations() const { return linearizations_; }
+
+ private:
+  LitmusProgram program_;
+  std::set<Outcome> allowed_;
+  std::size_t linearizations_ = 0;
+};
+
+/// Assert every observed outcome is allowed; throws CheckError naming the
+/// first violating outcome (formatted against the program's slot layout)
+/// and the executor that produced it.
+void check_outcomes(const Oracle& oracle, const std::set<Outcome>& observed,
+                    const std::string& executor);
+
+}  // namespace ecoscale::litmus

@@ -1,0 +1,136 @@
+#include "litmus/program.h"
+
+#include <sstream>
+
+namespace ecoscale::litmus {
+
+std::string format_outcome(const LitmusProgram& program,
+                           const Outcome& outcome) {
+  std::ostringstream os;
+  std::size_t slot = 0;
+  for (std::size_t t = 0; t < program.threads.size(); ++t) {
+    for (std::size_t i = 0; i < program.threads[t].ops.size(); ++i) {
+      if (!program.threads[t].ops[i].observes()) continue;
+      ECO_CHECK(slot < outcome.size());
+      os << "t" << t << ".op" << i << "=" << outcome[slot++] << " ";
+    }
+  }
+  os << "|";
+  for (std::size_t p = 0; p < program.pages; ++p) {
+    for (std::size_t v = 0; v < kVarsPerPage; ++v) {
+      ECO_CHECK(slot < outcome.size());
+      os << " p" << p << ".v" << v << "=" << outcome[slot++];
+    }
+  }
+  return os.str();
+}
+
+std::vector<LitmusProgram> standard_suite() {
+  std::vector<LitmusProgram> suite;
+
+  // Store buffering on ONE page: per-page owner order + program order
+  // forbid both loads returning 0 — the classic SB "forbidden" outcome,
+  // adapted from cross-location SC to UNIMEM's per-page guarantee.
+  {
+    LitmusProgram p;
+    p.name = "sb_same_page";
+    p.nodes = 2;
+    p.pages = 1;
+    p.page_owner = {0};
+    p.threads = {{0, {store(0, 0, 1), load(0, 1)}},
+                 {1, {store(0, 1, 1), load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Store buffering across TWO pages (distinct owners): partition
+  // consistency orders each page independently, so r0 = r1 = 0 is allowed
+  // — the outcome the same-page variant forbids.
+  {
+    LitmusProgram p;
+    p.name = "sb_two_pages";
+    p.nodes = 2;
+    p.pages = 2;
+    p.page_owner = {0, 1};
+    p.threads = {{0, {store(0, 0, 1), load(1, 0)}},
+                 {1, {store(1, 0, 1), load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Message passing on one page: observing the flag implies observing the
+  // data (same page's total order contains both stores in program order).
+  {
+    LitmusProgram p;
+    p.name = "mp_same_page";
+    p.nodes = 2;
+    p.pages = 1;
+    p.page_owner = {0};
+    p.threads = {{0, {store(0, 0, 1), store(0, 1, 1)}},
+                 {1, {load(0, 1), load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Message passing with data and flag on different pages: the stale read
+  // (flag = 1, data = 0) is allowed — pages order independently.
+  {
+    LitmusProgram p;
+    p.name = "mp_two_pages";
+    p.nodes = 2;
+    p.pages = 2;
+    p.page_owner = {0, 1};
+    p.threads = {{0, {store(0, 0, 1), store(1, 0, 1)}},
+                 {1, {load(1, 0), load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Three remote counters: atomics serialize at the owning node, so the
+  // observed old values are a permutation of {0, 1, 2} and the final
+  // count is exactly 3 — a lost update is outside the allowed set.
+  {
+    LitmusProgram p;
+    p.name = "atomic_inc";
+    p.nodes = 3;
+    p.pages = 1;
+    p.page_owner = {0};
+    p.threads = {{0, {fetch_add(0, 0, 1)}},
+                 {1, {fetch_add(0, 0, 1)}},
+                 {2, {fetch_add(0, 0, 1)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Migration edge: ownership moves mid-stream while the writer keeps
+  // writing monotonically increasing values and a third node keeps
+  // reading. Migration is value-neutral, so the reader's two loads may
+  // never regress (r1 > r2 is outside the model) and no write may vanish.
+  {
+    LitmusProgram p;
+    p.name = "migration_inflight";
+    p.nodes = 3;
+    p.pages = 1;
+    p.page_owner = {0};
+    p.threads = {{0, {store(0, 0, 1), store(0, 0, 2)}},
+                 {1, {migrate(0, 1), load(0, 0)}},
+                 {2, {load(0, 0), load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  // Crash/failover edge: the page is homed on a node that hosts no
+  // program thread and is crashed between a store and the loads, so a
+  // later access pays dead-owner retries and re-homes the page. Failover
+  // must preserve the store — t0's own load must return 1 (program
+  // order), and the final value must be 1 (no lost update).
+  {
+    LitmusProgram p;
+    p.name = "failover_lost_update";
+    p.nodes = 3;
+    p.pages = 1;
+    p.page_owner = {2};
+    p.threads = {{0, {store(0, 0, 1), crash(2), load(0, 0)}},
+                 {1, {load(0, 0)}}};
+    suite.push_back(std::move(p));
+  }
+
+  for (const auto& p : suite) p.validate();
+  return suite;
+}
+
+}  // namespace ecoscale::litmus

@@ -68,6 +68,13 @@ void FaultInjector::arm() {
     });
   }
 
+  for (const CrashEvent& crash : config_.scripted_crashes) {
+    ECO_CHECK(crash.worker < machine_.worker_count());
+    sim_.schedule_at(crash.at, [this, crash] {
+      take_down(crash.worker, crash.permanent, crash.repair_after);
+    });
+  }
+
   for (const LinkDegradeEvent& deg : config_.link_degrades) {
     sim_.schedule_at(deg.at, [this, deg] {
       ++link_faults_;
@@ -101,7 +108,8 @@ void FaultInjector::schedule_next_crash(std::size_t worker) {
   });
 }
 
-void FaultInjector::take_down(std::size_t worker, bool permanent) {
+void FaultInjector::take_down(std::size_t worker, bool permanent,
+                              SimDuration repair_after) {
   if (!machine_.health().up(worker)) {
     // Already down (e.g. node loss landing on a crashed worker): only
     // upgrade to permanent, cancelling any pending repair via the epoch.
@@ -121,7 +129,9 @@ void FaultInjector::take_down(std::size_t worker, bool permanent) {
     ECO_TRACE_INSTANT(obs::Cat::kFault, fault_trace_names().crash,
                       worker_lane(worker, per_node), now,
                       static_cast<std::uint32_t>(worker));
-    sim_.schedule_at(now + config_.repair_time, [this, worker, epoch] {
+    const SimDuration repair =
+        repair_after != 0 ? repair_after : config_.repair_time;
+    sim_.schedule_at(now + repair, [this, worker, epoch] {
       // A newer fault (another crash cannot happen while down, but a node
       // loss can) invalidates this repair.
       if (down_epoch_[worker] != epoch || permanent_[worker]) return;

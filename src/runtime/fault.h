@@ -38,6 +38,18 @@ struct NodeLossEvent {
   SimTime at = 0;
 };
 
+/// Scripted single-worker crash at an exact sim time — the deterministic
+/// counterpart of the Poisson chains, used by litmus-style runs that need
+/// a crash (or a crash/repair race) at a precise point between two memory
+/// operations. Unless `permanent`, the worker repairs `repair_after`
+/// later (0 falls back to FaultConfig::repair_time).
+struct CrashEvent {
+  std::size_t worker = 0;
+  SimTime at = 0;
+  bool permanent = false;
+  SimDuration repair_after = 0;
+};
+
 /// Serialization slowdown of every link on tree level `level` during
 /// [at, at + duration): factor 4 means a quarter of the bandwidth.
 struct LinkDegradeEvent {
@@ -56,6 +68,9 @@ struct FaultConfig {
   double seu_per_second = 0.0;
   std::vector<NodeLossEvent> node_losses;
   std::vector<LinkDegradeEvent> link_degrades;
+  /// Scripted crash points (see CrashEvent); independent of the Poisson
+  /// chains and active whenever `enabled` is set.
+  std::vector<CrashEvent> scripted_crashes;
   /// Heartbeat monitor cadence and the silence window after which the
   /// runtime declares a worker dead (consumed by RuntimeSystem).
   SimDuration heartbeat_period = microseconds(50);
@@ -92,7 +107,9 @@ class FaultInjector {
   void schedule_next_crash(std::size_t worker);
   void schedule_next_seu();
   /// Take `worker` down; permanent means no repair is ever scheduled.
-  void take_down(std::size_t worker, bool permanent);
+  /// `repair_after` overrides config repair_time when non-zero.
+  void take_down(std::size_t worker, bool permanent,
+                 SimDuration repair_after = 0);
 
   Simulator& sim_;
   Machine& machine_;

@@ -194,6 +194,12 @@ SimTime PgasSystem::fail_over_dead_owner(WorkerCoord who, PageId page,
                    static_cast<std::uint32_t>(attempt + 1));
     ++remote_retries_;
     now = deadline;
+    // The retry hook fires before the liveness re-check: a scripted repair
+    // installed by the litmus harness lands exactly where a concurrent
+    // repair event would, including one racing the final attempt.
+    if (observer_ != nullptr && observer_->on_retry) {
+      observer_->on_retry(who, page, attempt + 1, now);
+    }
     if (health_->node_up(dead)) return now;
   }
   // Retries exhausted: re-home the page at the requester's node (or the
@@ -234,6 +240,10 @@ SimTime PgasSystem::fail_over_dead_owner(WorkerCoord who, PageId page,
   ECO_TRACE_SPAN(obs::Cat::kFailover, counters().failover,
                  (obs::Lane{target, 0}), start, t,
                  static_cast<std::uint32_t>(page));
+  if (observer_ != nullptr && observer_->on_ownership_change) {
+    observer_->on_ownership_change(page, dead, target, start, t,
+                                   /*failover=*/true);
+  }
   return t;
 }
 
@@ -250,7 +260,17 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
   MemAccess result;
   const WorkerCoord home = addr.home();
   // Trace spans start at issue time, before translation advances `now`.
-  [[maybe_unused]] const SimTime issued = now;
+  const SimTime issued = now;
+  const auto notify = [&] {
+    if (observer_ != nullptr && observer_->on_access) {
+      observer_->on_access(PgasObserver::Access{
+          who, page,
+          bulk ? PgasObserver::Kind::kDma
+               : (write ? PgasObserver::Kind::kStore
+                        : PgasObserver::Kind::kLoad),
+          issued, result.finish, owner, result.remote});
+    }
+  };
 
   // Progressive address translation: each access resolves exactly the
   // hierarchy levels its route traverses (no central translation agent).
@@ -290,6 +310,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
     energy_.charge(write ? counters().global_store : counters().global_load,
                    result.energy);
     ++local_accesses_;
+    notify();
     return result;
   }
 
@@ -328,6 +349,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
     }
     energy_.charge(write ? counters().local_store : counters().local_load,
                    result.energy);
+    notify();
     return result;
   }
 
@@ -359,6 +381,7 @@ MemAccess PgasSystem::access(WorkerCoord who, GlobalAddress addr, Bytes size,
                  write ? counters().remote_store : counters().remote_load,
                  (obs::Lane{who.node, who.worker}), issued, result.finish,
                  size);
+  notify();
   return result;
 }
 
@@ -441,6 +464,11 @@ AtomicResult PgasSystem::atomic_rmw(WorkerCoord who, GlobalAddress addr,
     result.energy = fwd.energy + d.energy + back.energy;
     energy_.charge(counters().atomic_remote, result.energy);
   }
+  if (observer_ != nullptr && observer_->on_access) {
+    observer_->on_access(PgasObserver::Access{
+        who, page, PgasObserver::Kind::kAtomic, now, result.finish, owner,
+        result.remote});
+  }
   return result;
 }
 
@@ -491,6 +519,10 @@ MigrationResult PgasSystem::migrate_page(PageId page, NodeId dst,
   energy_.charge(counters().page_migration, result.energy);
   ECO_TRACE_SPAN(obs::Cat::kUnimem, counters().page_migration,
                  (obs::Lane{dst, 0}), now, result.finish, kPageSize);
+  if (observer_ != nullptr && observer_->on_ownership_change) {
+    observer_->on_ownership_change(page, *owner, dst, now, result.finish,
+                                   /*failover=*/false);
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -126,6 +127,40 @@ struct AtomicResult {
   SimTime finish = 0;
   bool remote = false;
   Picojoules energy = 0.0;
+};
+
+/// Observation hooks over the UNIMEM access/migration/failover machinery
+/// (DESIGN.md §7.10). The litmus harness installs these to reconstruct the
+/// per-page serialization order the memory-model oracle checks against,
+/// and to script health transitions *between* dead-owner retry attempts —
+/// the only way a repair can race the retry loop deterministically. All
+/// callbacks fire at the serialization point of the operation (functional
+/// effect already applied, timing resolved). Unset observers cost one
+/// pointer compare per operation.
+struct PgasObserver {
+  enum class Kind : std::uint8_t { kLoad, kStore, kDma, kAtomic };
+  struct Access {
+    WorkerCoord who;
+    PageId page = 0;
+    Kind kind = Kind::kLoad;
+    SimTime issue = 0;    // caller's `now`, before translation
+    SimTime finish = 0;   // completion at the requester
+    NodeId owner = 0;     // owning node the access serialized at
+    bool remote = false;  // crossed the node boundary
+  };
+  std::function<void(const Access&)> on_access;
+  /// Page ownership moved: an explicit migrate_page (failover == false) or
+  /// a dead-owner re-home (failover == true).
+  std::function<void(PageId page, NodeId from, NodeId to, SimTime start,
+                     SimTime finish, bool failover)>
+      on_ownership_change;
+  /// One timed-out retry attempt against a dead owner just elapsed
+  /// (attempt counts from 1); invoked *before* the liveness re-check, so a
+  /// repair applied here races the retry loop exactly where a concurrent
+  /// repair event would land.
+  std::function<void(WorkerCoord who, PageId page, std::size_t attempt,
+                     SimTime now)>
+      on_retry;
 };
 
 class PgasSystem {
@@ -251,6 +286,10 @@ class PgasSystem {
   /// Pages re-homed to a surviving node after retry exhaustion.
   std::uint64_t page_failovers() const { return page_failovers_; }
 
+  /// Attach litmus/diagnostic observation hooks (nullptr detaches). The
+  /// observer must outlive the accesses it watches.
+  void set_observer(const PgasObserver* observer) { observer_ = observer; }
+
   std::size_t flat(WorkerCoord w) const {
     return static_cast<std::size_t>(w.node) * config_.workers_per_node +
            w.worker;
@@ -302,6 +341,7 @@ class PgasSystem {
   std::uint64_t remote_accesses_ = 0;
   std::uint64_t local_accesses_ = 0;
   const HealthRegistry* health_ = nullptr;
+  const PgasObserver* observer_ = nullptr;
   std::uint64_t remote_retries_ = 0;
   std::uint64_t page_failovers_ = 0;
   std::unique_ptr<ProgressiveTranslator> translator_;

@@ -11,11 +11,6 @@ namespace ecoscale {
 
 namespace {
 
-/// Software cost of handling one barrier token at the receiving worker
-/// (interrupt / mailbox poll + combine update). This is what makes a
-/// centralised barrier bottleneck on its hub.
-constexpr SimDuration kTokenProcessing = nanoseconds(100);
-
 struct TokenSend {
   SimTime finish = 0;
   Picojoules energy = 0.0;
@@ -23,12 +18,16 @@ struct TokenSend {
 
 TokenSend send_token(PgasSystem& pgas, std::vector<Timeline>& cpus,
                      WorkerCoord from, WorkerCoord to, SimTime ready) {
+  // Issuing the token occupies the sender's CPU: back-to-back sends from
+  // the same worker (a parent's release wave, the flat hub's broadcast)
+  // serialize here instead of departing at the same instant.
+  const SimTime go =
+      cpus[pgas.flat(from)].reserve_until(ready, kBarrierTokenIssue);
   Packet p{PacketType::kSync, from, to, 8};
-  const auto t =
-      pgas.network().send(pgas.flat(from), pgas.flat(to), p, ready);
+  const auto t = pgas.network().send(pgas.flat(from), pgas.flat(to), p, go);
   // The receiver's token handler runs serially per worker.
-  const SimTime done = cpus[pgas.flat(to)].reserve_until(
-      t.arrival, kTokenProcessing);
+  const SimTime done =
+      cpus[pgas.flat(to)].reserve_until(t.arrival, kBarrierTokenProcess);
   return TokenSend{done, t.energy};
 }
 
@@ -103,13 +102,12 @@ SyncResult flat_barrier(PgasSystem& pgas,
     result.energy += s.energy;
     ++result.messages;
   }
-  // The hub issues every release itself: each send occupies its CPU.
+  // The hub issues every release itself. send_token charges the hub's
+  // CPU for each issue, so the broadcast serializes on the hub's
+  // timeline — the same accounting the tree parents now pay.
   SimTime done = all_in;
-  SimTime hub_ready = all_in;
   for (std::size_t i = 1; i < workers.size(); ++i) {
-    hub_ready = cpus[pgas.flat(hub)].reserve_until(hub_ready,
-                                                   kTokenProcessing);
-    const auto s = send_token(pgas, cpus, hub, workers[i], hub_ready);
+    const auto s = send_token(pgas, cpus, hub, workers[i], all_in);
     done = std::max(done, s.finish);
     result.energy += s.energy;
     ++result.messages;

@@ -314,6 +314,62 @@ TEST(LatencyHistogram, IndexAndBucketLowRoundTrip) {
   }
 }
 
+TEST(LatencyHistogram, PercentileRankBoundariesAreExact) {
+  // Ten distinct unit-bucket values: rank arithmetic is fully exact, so
+  // the percentile must flip at precisely ceil(p/100 * 10) with no
+  // epsilon slop on either side of a boundary.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(10.0), 1u);   // target = 1
+  EXPECT_EQ(h.percentile(49.99999), 5u);
+  EXPECT_EQ(h.percentile(50.0), 5u);   // target = 5, exactly
+  EXPECT_EQ(h.percentile(50.00001), 6u);
+  EXPECT_EQ(h.percentile(90.0), 9u);
+  EXPECT_EQ(h.percentile(100.0), 10u);
+}
+
+TEST(LatencyHistogram, PercentileExactAtLargeCounts) {
+  // The regression the integer-ceil rank fixed: at large counts the old
+  // `frac * count + 0.9999999` double expression drifted past the exact
+  // rank (0.8 * 671088640 is not representable, and the epsilon pushed
+  // the product over the next integer). Build ~6.7e8 samples by merge
+  // doubling: 4 zeros + 1 one, doubled 27 times.
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.record(0);
+  h.record(1);
+  for (int i = 0; i < 27; ++i) {
+    const LatencyHistogram half = h;
+    h.merge(half);
+  }
+  const std::uint64_t n = 5ull << 27;
+  ASSERT_EQ(h.count(), n);
+  // Exactly 80% of the samples are zero, so the boundary sits at p=80:
+  // target == 0.8n lands on the last zero, one rank further is a one.
+  EXPECT_EQ(h.percentile(80.0), 0u);
+  EXPECT_EQ(h.percentile(79.99999), 0u);
+  EXPECT_EQ(h.percentile(80.00001), 1u);
+  EXPECT_EQ(h.percentile(100.0), 1u);  // p100 is max() exactly
+}
+
+TEST(LatencyHistogram, PercentileLowTailClampsToMin) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 100; v < 100 + 1000; ++v) h.record(v);
+  // p -> 0 clamps the rank to 1 (the minimum sample), never below.
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_EQ(h.percentile(0.00001), h.min());
+  EXPECT_EQ(h.percentile(1e-9), h.min());
+  // Out-of-range p is clamped, not UB.
+  EXPECT_EQ(h.percentile(-5.0), h.min());
+  EXPECT_EQ(h.percentile(250.0), h.max());
+  // Monotone in p across the whole range.
+  std::uint64_t prev = 0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const std::uint64_t v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
 TEST(RunningStat, BasicMoments) {
   RunningStat s;
   for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);

@@ -126,6 +126,73 @@ TEST(ResilienceLive, NodeLossFailsOverToSurvivors) {
   EXPECT_EQ(stats.detections, 4u);
 }
 
+TEST(ResilienceLive, ScriptedCrashFiresAtExactTimeThenRepairs) {
+  // A scripted CrashEvent is the deterministic counterpart of the Poisson
+  // chains: it takes the worker down at precisely `at` and (non-permanent)
+  // brings it back exactly `repair_after` later. The litmus harness relies
+  // on this to place a crash between two memory operations.
+  MachineConfig mc;
+  mc.nodes = 1;
+  mc.workers_per_node = 2;
+  Machine machine(mc);
+  Simulator sim;
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.scripted_crashes.push_back(
+      {/*worker=*/1, /*at=*/microseconds(7), /*permanent=*/false,
+       /*repair_after=*/microseconds(3)});
+  std::vector<std::pair<std::size_t, SimTime>> downs;
+  std::vector<std::pair<std::size_t, SimTime>> ups;
+  FaultInjector::Callbacks cb;
+  cb.on_worker_down = [&](std::size_t w, SimTime at) {
+    downs.emplace_back(w, at);
+  };
+  cb.on_worker_up = [&](std::size_t w, SimTime at) { ups.emplace_back(w, at); };
+  cb.active = [] { return true; };
+  FaultInjector inj(sim, machine, fc, cb);
+  inj.arm();
+  sim.run();
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0].first, 1u);
+  EXPECT_EQ(downs[0].second, microseconds(7));
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0].first, 1u);
+  EXPECT_EQ(ups[0].second, microseconds(10));  // exactly repair_after later
+  EXPECT_TRUE(machine.health().up(1));
+  EXPECT_EQ(inj.crashes(), 1u);
+}
+
+TEST(ResilienceLive, ScriptedPermanentCrashNeverRepairs) {
+  MachineConfig mc;
+  mc.nodes = 1;
+  mc.workers_per_node = 2;
+  Machine machine(mc);
+  Simulator sim;
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.scripted_crashes.push_back(
+      {/*worker=*/0, /*at=*/microseconds(5), /*permanent=*/true,
+       /*repair_after=*/0});
+  std::vector<std::pair<std::size_t, SimTime>> downs;
+  bool repaired = false;
+  FaultInjector::Callbacks cb;
+  cb.on_worker_down = [&](std::size_t w, SimTime at) {
+    downs.emplace_back(w, at);
+  };
+  cb.on_worker_up = [&](std::size_t, SimTime) { repaired = true; };
+  cb.active = [] { return true; };
+  FaultInjector inj(sim, machine, fc, cb);
+  inj.arm();
+  sim.run();  // drains: a permanent crash schedules no repair event
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0].first, 0u);
+  EXPECT_EQ(downs[0].second, microseconds(5));
+  EXPECT_FALSE(repaired);
+  EXPECT_FALSE(machine.health().up(0));
+  EXPECT_TRUE(machine.health().up(1));  // the node itself stays reachable
+  EXPECT_TRUE(machine.health().node_up(0));
+}
+
 #if !defined(ECO_TRACE_DISABLED)
 
 std::size_t count_occurrences(const std::string& hay,

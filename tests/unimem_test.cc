@@ -3,6 +3,9 @@
 #include <array>
 
 #include "common/check.h"
+#include "common/health.h"
+#include "interconnect/packet.h"
+#include "sim/timeline.h"
 #include "unimem/pgas.h"
 #include "unimem/sync.h"
 
@@ -200,11 +203,147 @@ TEST(Barrier, SingleWorkerTrivial) {
   EXPECT_EQ(r.messages, 0u);
 }
 
+TEST(Barrier, TwoWorkerTreeEqualsFlat) {
+  // With two participants both topologies degenerate to the same
+  // message pattern (one combine token, one release token), and since
+  // both barriers now charge the sender-side issue cost identically the
+  // results must be *exactly* equal — this is the accounting-parity
+  // check for the token-issue fix.
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 1;
+  const std::array workers{WorkerCoord{0, 0}, WorkerCoord{1, 0}};
+  const std::array arrivals{microseconds(1), microseconds(3)};
+  PgasSystem tree_sys(cfg);
+  PgasSystem flat_sys(cfg);  // fresh network timelines for each
+  const auto tree = tree_barrier(tree_sys, workers, arrivals);
+  const auto flat = flat_barrier(flat_sys, workers, arrivals);
+  EXPECT_EQ(tree.finish, flat.finish);
+  EXPECT_EQ(tree.messages, flat.messages);
+  EXPECT_DOUBLE_EQ(tree.energy, flat.energy);
+  EXPECT_EQ(tree.messages, 2u);
+}
+
+TEST(Barrier, ReleaseBroadcastSerializesOnSenderCpu) {
+  // Replay flat_barrier's token accounting against a reference model:
+  // every token issue reserves kBarrierTokenIssue on the sender's CPU
+  // timeline and every delivery reserves kBarrierTokenProcess on the
+  // receiver's, so the hub's two release sends depart back-to-back
+  // rather than at the same instant. The replayed finish must match the
+  // real barrier exactly.
+  PgasConfig cfg;
+  cfg.nodes = 3;
+  cfg.workers_per_node = 1;
+  const std::array workers{WorkerCoord{0, 0}, WorkerCoord{1, 0},
+                           WorkerCoord{2, 0}};
+  const std::array arrivals{SimTime{0}, nanoseconds(10), nanoseconds(20)};
+
+  PgasSystem sys(cfg);
+  const auto real = flat_barrier(sys, workers, arrivals);
+
+  PgasSystem ref(cfg);  // identical fresh system for the replay
+  std::vector<Timeline> cpus(ref.worker_count());
+  const auto send = [&](WorkerCoord from, WorkerCoord to, SimTime ready) {
+    const SimTime go =
+        cpus[ref.flat(from)].reserve_until(ready, kBarrierTokenIssue);
+    Packet p{PacketType::kSync, from, to, 8};
+    const auto t = ref.network().send(ref.flat(from), ref.flat(to), p, go);
+    return cpus[ref.flat(to)].reserve_until(t.arrival, kBarrierTokenProcess);
+  };
+  const WorkerCoord hub = workers[0];
+  SimTime all_in = arrivals[0];
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    all_in = std::max(all_in, send(workers[i], hub, arrivals[i]));
+  }
+  // The hub's release issues serialize on its own CPU: the second send
+  // cannot depart before the first one's issue slot completes.
+  const SimTime hub_free_before = cpus[ref.flat(hub)].next_free();
+  SimTime done = all_in;
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    done = std::max(done, send(hub, workers[i], all_in));
+  }
+  EXPECT_EQ(cpus[ref.flat(hub)].next_free(),
+            std::max(hub_free_before, all_in) +
+                (workers.size() - 1) * kBarrierTokenIssue);
+  EXPECT_EQ(real.finish, done);
+  EXPECT_EQ(real.messages, 2u * (workers.size() - 1));
+}
+
 TEST(Mailbox, SignalDeliversWithInterruptLatency) {
   PgasSystem pgas(small_pgas());
   const auto r = mailbox_signal(pgas, {0, 0}, {1, 1}, 0);
   EXPECT_GT(r.finish, nanoseconds(500));
   EXPECT_EQ(r.messages, 1u);
+}
+
+// --- dead-owner failover edge cases ------------------------------------------
+
+TEST(PgasFailover, RequesterNodeDownFallsBackToReplica) {
+  // The owner is dead AND the requester's own node is down: the page
+  // cannot re-home at the requester, so it lands on the lowest surviving
+  // node (the replica holder) instead.
+  PgasConfig cfg;
+  cfg.nodes = 3;
+  cfg.workers_per_node = 1;
+  cfg.fault_retry_timeout = microseconds(2);
+  cfg.fault_retry_backoff = microseconds(1);
+  PgasSystem pgas(cfg);
+  HealthRegistry health(3, 1);
+  pgas.set_health(&health);
+  const auto addr = pgas.alloc(2, 0, kPageSize);
+  health.mark_down(2);  // page owner
+  health.mark_down(1);  // the requester's own node
+  const auto r = pgas.load({1, 0}, addr, 64, 0);
+  EXPECT_EQ(pgas.remote_retries(), cfg.fault_max_retries);
+  EXPECT_EQ(pgas.page_failovers(), 1u);
+  SimDuration retry_floor = 0;
+  for (std::size_t a = 0; a < cfg.fault_max_retries; ++a) {
+    retry_floor += cfg.fault_retry_timeout + a * cfg.fault_retry_backoff;
+  }
+  EXPECT_GE(r.finish, retry_floor);
+  EXPECT_TRUE(r.remote);  // node 0 now owns it; the requester is node 1
+  EXPECT_TRUE(pgas.directory().cacheable_at(page_of(addr), 0));
+  EXPECT_FALSE(pgas.directory().cacheable_at(page_of(addr), 1));
+  // The survivor's own accesses are plain local loads from here on, with
+  // no further retries or failovers.
+  const auto after = pgas.load({0, 0}, addr, 8, r.finish);
+  EXPECT_FALSE(after.remote);
+  EXPECT_EQ(pgas.remote_retries(), cfg.fault_max_retries);
+  EXPECT_EQ(pgas.page_failovers(), 1u);
+}
+
+TEST(PgasFailover, RepairRacingFinalRetryAvoidsFailover) {
+  // A repair that lands between the final retry's timeout and its
+  // liveness re-check wins the race: the access proceeds against the
+  // original owner and the page never moves. The on_retry hook fires at
+  // exactly that point, which is how the litmus harness scripts the race
+  // deterministically.
+  PgasConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 1;
+  cfg.fault_retry_timeout = microseconds(2);
+  cfg.fault_retry_backoff = microseconds(1);
+  PgasSystem pgas(cfg);
+  HealthRegistry health(2, 1);
+  pgas.set_health(&health);
+  const auto addr = pgas.alloc(1, 0, kPageSize);
+  health.mark_down(1);
+  std::size_t retries_seen = 0;
+  PgasObserver obs;
+  obs.on_retry = [&](WorkerCoord, PageId, std::size_t attempt, SimTime) {
+    retries_seen = attempt;
+    if (attempt == cfg.fault_max_retries) health.mark_up(1);
+  };
+  pgas.set_observer(&obs);
+  const auto r = pgas.load({0, 0}, addr, 64, 0);
+  pgas.set_observer(nullptr);
+  // Every retry attempt was burned, but no failover happened.
+  EXPECT_EQ(retries_seen, cfg.fault_max_retries);
+  EXPECT_EQ(pgas.remote_retries(), cfg.fault_max_retries);
+  EXPECT_EQ(pgas.page_failovers(), 0u);
+  EXPECT_TRUE(r.remote);  // served by the original, repaired owner
+  EXPECT_TRUE(pgas.directory().cacheable_at(page_of(addr), 1));
+  EXPECT_FALSE(pgas.directory().cacheable_at(page_of(addr), 0));
 }
 
 }  // namespace
