@@ -18,7 +18,10 @@ everything else, since the remaining units are times/counts). Latency
 percentile columns ("p50 ns" / "p99 ns" / "p999 ns") therefore gate as
 ceilings: committed baselines pre-inflate them x2 (update_baselines.py),
 so only a genuine tail blow-up — not runner noise — can rise past the
-threshold. Hash columns are compared exactly, any drift fails.
+threshold. Hash columns are compared exactly, any drift fails. A
+deterministic baseline column (hash or count) that is *absent* from the
+fresh dump is a hard failure, not a silent skip — renaming or dropping a
+gated column must force a baseline regeneration, never an empty diff.
 """
 
 import argparse
@@ -85,6 +88,22 @@ def exact_match(column):
     return "hash" in column.lower()
 
 
+# Count-like columns are deterministic too (simulated work, not wall
+# clock): if one disappears from a fresh dump, that is a renamed or
+# dropped column, not a faster machine.
+COUNT_TOKENS = {"issued", "completed", "shed", "events", "windows",
+                "messages", "moves", "forwards", "count", "tasks", "spills"}
+
+
+def deterministic(column):
+    """Columns whose *absence* from the fresh dump must hard-fail: a
+    baseline hash or count column that no longer exists would otherwise
+    pass silently (nothing compared, exit 0)."""
+    lowered = column.lower()
+    return exact_match(column) or any(
+        t in COUNT_TOKENS for t in lowered.split())
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("before")
@@ -110,13 +129,27 @@ def main():
 
     worst = 0.0
     rows = []
+    missing = []
+    for key in before:
+        if key in keys:
+            continue
+        if any(deterministic(c) for r in before[key].values() for c in r):
+            missing.append((key, "-", "table absent from the fresh dump"))
     for key in keys:
         for row_name, cells in before[key].items():
             other = after[key].get(row_name)
             if other is None:
+                if any(deterministic(c) for c in cells):
+                    missing.append((key, row_name,
+                                    "row absent from the fresh dump"))
                 continue
             for col, old in cells.items():
                 new = other.get(col)
+                if new is None and deterministic(col):
+                    missing.append((key, row_name,
+                                    f"column '{col}' absent from the fresh "
+                                    "dump"))
+                    continue
                 if new is None or old == 0:
                     continue
                 change = 100.0 * (new - old) / old
@@ -129,7 +162,7 @@ def main():
                 worst = max(worst, regression)
                 rows.append((key, row_name, col, old, new, change))
 
-    if not rows:
+    if not rows and not missing:
         sys.exit("error: no comparable metrics between the two files")
 
     name_w = max(len(f"{r[1]} [{r[2]}]") for r in rows)
@@ -142,6 +175,13 @@ def main():
         label = f"{row_name} [{col}]"
         print(f"{label:<{name_w}}  {old:>12.6g}  {new:>12.6g}  {change:>+7.1f}%")
 
+    if missing:
+        print("\nFAIL: deterministic baseline columns (hashes, counts) are "
+              "missing from the fresh dump — a renamed or dropped column "
+              "would otherwise pass silently:", file=sys.stderr)
+        for key, row_name, what in missing:
+            print(f"  {key} / {row_name}: {what}", file=sys.stderr)
+        return 1
     if gate is not None and worst > gate:
         print(f"\nFAIL: worst regression {worst:.1f}% exceeds "
               f"threshold {gate:.1f}%", file=sys.stderr)

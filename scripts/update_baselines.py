@@ -27,8 +27,17 @@ a performance number.
 Re-run this script (and commit bench/baselines/) whenever bench workloads
 or engine behavior change intentionally:
 
+Byte-hop columns ("byte hops") are migration/forwarding traffic on the
+simulated interconnect — deterministic in principle, but they shift with
+every intentional workload retune, so they gate as x2 ceilings rather
+than exact matches: only a locality collapse (remote traffic blowing up
+past twice the reference) trips them.
+
+Re-run this script (and commit bench/baselines/) whenever bench workloads
+or engine behavior change intentionally:
+
     cmake --build build --target bench_simcore bench_mempath bench_scale \
-        bench_serve
+        bench_serve bench_repart
     python3 scripts/update_baselines.py --build-dir build
 """
 
@@ -40,7 +49,7 @@ import sys
 import tempfile
 
 GATED_BENCHES = ["bench_simcore", "bench_mempath", "bench_scale",
-                 "bench_serve"]
+                 "bench_serve", "bench_repart"]
 # Matches the CI bench-smoke invocation so sharded-engine tables have the
 # same row keys (the "sim threads" column) in baseline and fresh runs.
 BENCH_ARGS = ["--sim-threads", "4"]
@@ -53,6 +62,9 @@ WALL_INFLATE = 2.5  # wall-time ("ms") and memory ("MB") ceilings
 # trips them; the scaling gate cares about the big rows, so tiny ones
 # get at least this much absolute headroom.
 WALL_MIN_CEILING = 10.0
+# Interconnect traffic ("byte hops"): a ceiling wide enough to survive
+# intentional retunes, tight enough to catch a locality collapse.
+BYTE_HOP_INFLATE = 2.0
 
 
 def is_latency_column(name):
@@ -84,6 +96,8 @@ def derate(doc):
                     row[i] = f"{v * LATENCY_INFLATE:.6g}"
                 elif "ms" in name.split() or "MB" in name.split():
                     row[i] = f"{max(v * WALL_INFLATE, WALL_MIN_CEILING):.6g}"
+                elif "byte hops" in name:
+                    row[i] = f"{v * BYTE_HOP_INFLATE:.6g}"
     return doc
 
 

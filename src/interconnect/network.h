@@ -147,6 +147,23 @@ class Network {
 
   /// True when routes are computed implicitly from the topology tree.
   bool implicit_routing() const { return tree_routing_; }
+  /// Sentinel returned by tree_parent() at the root.
+  static constexpr VertexId kNoParent = 0xFFFFFFFFu;
+  /// Implicit-tree position accessors (require implicit_routing()): the
+  /// vertex behind endpoint index `i`, its parent vertex (kNoParent at the
+  /// root) and its depth (root = 0). Pure reads of the per-vertex tree
+  /// arrays, safe from concurrent shard threads. The repartitioner's
+  /// hierarchical diffusion rebuilds its sibling groups per tier from
+  /// exactly these (src/repart/diffusion.h).
+  VertexId endpoint_vertex(std::size_t i) const { return topo_.endpoint(i); }
+  VertexId tree_parent(VertexId v) const {
+    ECO_CHECK(tree_routing_ && v < parent_.size());
+    return parent_[v];
+  }
+  std::size_t tree_depth(VertexId v) const {
+    ECO_CHECK(tree_routing_ && v < depth_.size());
+    return depth_[v];
+  }
   /// Logical bytes of routing state: the per-vertex tree arrays under
   /// implicit routing, or the dense RouteRef table + path arena + BFS
   /// parent caches under the dense table. Size-based (not capacity), so

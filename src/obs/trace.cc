@@ -28,6 +28,7 @@ const char* cat_name(Cat c) {
     case Cat::kRetry: return "retry";
     case Cat::kFailover: return "failover";
     case Cat::kServe: return "serve";
+    case Cat::kRepart: return "repart";
   }
   return "?";
 }

@@ -54,8 +54,9 @@ enum class Cat : std::uint8_t {
   kRetry = 9,     // bounded retry attempts (PGAS access, pool doorbell)
   kFailover = 10, // recovery actions: page re-home, task re-queue
   kServe = 11,    // serving workloads: request lifecycle, shed, apply
+  kRepart = 12,   // online repartitioner: epoch folds, plans, migrations
 };
-inline constexpr std::size_t kCatCount = 12;
+inline constexpr std::size_t kCatCount = 13;
 
 constexpr std::uint32_t cat_bit(Cat c) {
   return std::uint32_t{1} << static_cast<unsigned>(c);

@@ -1,0 +1,146 @@
+#include "repart/diffusion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "interconnect/network.h"
+
+namespace ecoscale::repart {
+
+TreeLevels TreeLevels::from_network(Network& net, std::size_t nodes) {
+  ECO_CHECK_MSG(net.implicit_routing(),
+                "diffusion tiers come from the implicit tree arrays");
+  ECO_CHECK(nodes >= 1 && nodes <= net.endpoint_count());
+
+  // Root-down ancestor chain of every node's endpoint vertex (the chain
+  // includes the leaf itself, so the deepest tier is the singleton
+  // partition by construction).
+  std::vector<std::vector<VertexId>> chains(nodes);
+  std::size_t max_len = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    VertexId v = net.endpoint_vertex(n);
+    std::vector<VertexId>& chain = chains[n];
+    for (;;) {
+      chain.push_back(v);
+      const VertexId p = net.tree_parent(v);
+      if (p == Network::kNoParent) break;
+      v = p;
+    }
+    std::reverse(chain.begin(), chain.end());
+    max_len = std::max(max_len, chain.size());
+  }
+
+  TreeLevels levels;
+  levels.nodes = nodes;
+  levels.group_of.resize(max_len);
+  levels.group_count.resize(max_len);
+  // Dense group ids in node order: scan nodes, map the tier-t ancestor
+  // vertex to the next unseen id. A node shallower than tier t (uneven
+  // tree) is keyed by its own leaf — already a singleton from there down.
+  std::vector<VertexId> seen_vertex;
+  std::vector<std::uint32_t> seen_id;
+  for (std::size_t t = 0; t < max_len; ++t) {
+    seen_vertex.clear();
+    seen_id.clear();
+    std::vector<std::uint32_t>& groups = levels.group_of[t];
+    groups.resize(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const std::vector<VertexId>& chain = chains[n];
+      const VertexId key = chain[std::min(t, chain.size() - 1)];
+      std::uint32_t id = 0xFFFFFFFFu;
+      for (std::size_t i = 0; i < seen_vertex.size(); ++i) {
+        if (seen_vertex[i] == key) {
+          id = seen_id[i];
+          break;
+        }
+      }
+      if (id == 0xFFFFFFFFu) {
+        id = static_cast<std::uint32_t>(seen_vertex.size());
+        seen_vertex.push_back(key);
+        seen_id.push_back(id);
+      }
+      groups[n] = id;
+    }
+    levels.group_count[t] = seen_vertex.size();
+  }
+  ECO_CHECK(levels.group_count.front() == 1);
+  ECO_CHECK(levels.group_count.back() == nodes);
+  return levels;
+}
+
+std::vector<double> diffusion_targets(const TreeLevels& levels,
+                                      const std::vector<double>& load,
+                                      const std::vector<double>& capacity,
+                                      double alpha) {
+  const std::size_t n = levels.nodes;
+  ECO_CHECK(load.size() == n && capacity.size() == n);
+  ECO_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  std::vector<double> target = load;
+  if (levels.tier_count() < 2) return target;
+
+  // Scratch per tier: aggregate target/capacity per child group, plus the
+  // child group -> parent group map (a child's members share the parent
+  // ancestor too, so any member resolves it).
+  std::vector<double> child_load, child_cap, child_new;
+  std::vector<std::uint32_t> child_parent;
+  std::vector<double> parent_total, parent_cap, parent_share_cap;
+
+  for (std::size_t t = 0; t + 1 < levels.tier_count(); ++t) {
+    const std::vector<std::uint32_t>& parent_of = levels.group_of[t];
+    const std::vector<std::uint32_t>& child_of = levels.group_of[t + 1];
+    const std::size_t nparents = levels.group_count[t];
+    const std::size_t nchildren = levels.group_count[t + 1];
+    child_load.assign(nchildren, 0.0);
+    child_cap.assign(nchildren, 0.0);
+    child_parent.assign(nchildren, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = child_of[i];
+      child_load[c] += target[i];
+      child_cap[c] += capacity[i];
+      child_parent[c] = parent_of[i];
+    }
+    parent_total.assign(nparents, 0.0);
+    parent_cap.assign(nparents, 0.0);
+    std::vector<std::uint32_t> parent_children(nparents, 0);
+    for (std::size_t c = 0; c < nchildren; ++c) {
+      parent_total[child_parent[c]] += child_load[c];
+      parent_cap[child_parent[c]] += child_cap[c];
+      ++parent_children[child_parent[c]];
+    }
+    // New aggregate per child: damped step toward the capacity share.
+    child_new.assign(nchildren, 0.0);
+    for (std::size_t c = 0; c < nchildren; ++c) {
+      const std::uint32_t p = child_parent[c];
+      const double weight =
+          parent_cap[p] > 0.0
+              ? child_cap[c] / parent_cap[p]
+              : 1.0 / static_cast<double>(parent_children[p]);
+      const double share = parent_total[p] * weight;
+      child_new[c] = child_load[c] + alpha * (share - child_load[c]);
+    }
+    // Push the new aggregates down to nodes: scale each child's members
+    // (preserving its internal distribution — deeper tiers rebalance it),
+    // or spread by capacity when the child currently holds nothing.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = child_of[i];
+      if (child_load[c] > 0.0) {
+        target[i] *= child_new[c] / child_load[c];
+      } else if (child_new[c] > 0.0) {
+        // Count members lazily only on this rare path.
+        double members_cap = child_cap[c];
+        if (members_cap > 0.0) {
+          target[i] = child_new[c] * capacity[i] / members_cap;
+        } else {
+          std::size_t members = 0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (child_of[j] == c) ++members;
+          }
+          target[i] = child_new[c] / static_cast<double>(members);
+        }
+      }
+    }
+  }
+  return target;
+}
+
+}  // namespace ecoscale::repart

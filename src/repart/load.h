@@ -1,0 +1,91 @@
+// Windowed load vectors for the online repartitioner.
+//
+// Per-shard, shard-owned counters: an event executing on node n's shard
+// records accesses and work into slot n only, so there is never a write
+// race — the same single-writer discipline every deterministic counter in
+// this codebase follows. The repartitioner folds and resets the windows
+// from the epoch pause (no shard running), so reads are ordered against
+// the writes by the engine's segment boundaries and the folded vectors
+// are a pure function of simulation state.
+//
+// Layout: access[item * nodes + origin] — how much traffic `item`
+// received on behalf of node `origin` this window (bytes-weighted), the
+// affinity signal locality moves follow; work[item] — the service cost
+// `item` generated this window, the mass hierarchical diffusion balances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecoscale::repart {
+
+class LoadTracker {
+ public:
+  LoadTracker(std::size_t nodes, std::size_t items)
+      : nodes_(nodes), items_(items), shards_(nodes) {
+    for (Slot& s : shards_) {
+      s.access.assign(items * nodes, 0);
+      s.work.assign(items, 0);
+    }
+  }
+
+  std::size_t nodes() const { return nodes_; }
+  std::size_t items() const { return items_; }
+
+  /// Record `weight` (typically bytes) of traffic to `item`, executed on
+  /// node `at_node`'s shard on behalf of node `origin`. Only events
+  /// running on that shard may pass its id.
+  void record_access(std::size_t at_node, std::uint32_t item,
+                     std::uint32_t origin, std::uint64_t weight) {
+    ECO_CHECK(at_node < nodes_ && item < items_ && origin < nodes_);
+    shards_[at_node].access[item * nodes_ + origin] += weight;
+  }
+
+  /// Record `cost` units of service work attributed to `item`, executed
+  /// on node `at_node`'s shard.
+  void record_work(std::size_t at_node, std::uint32_t item,
+                   std::uint64_t cost) {
+    ECO_CHECK(at_node < nodes_ && item < items_);
+    shards_[at_node].work[item] += cost;
+  }
+
+  /// Folded window: per-item work and per-(item, origin) access.
+  struct Window {
+    std::vector<std::uint64_t> access;  // items x nodes
+    std::vector<std::uint64_t> work;    // items
+  };
+
+  /// Fold every shard's window into `out` and zero the shard counters.
+  /// Controller-only: call with no shard running (an epoch pause).
+  /// Integer sums in fixed shard order — deterministic by construction.
+  void collect(Window& out) {
+    out.access.assign(items_ * nodes_, 0);
+    out.work.assign(items_, 0);
+    for (Slot& s : shards_) {
+      for (std::size_t i = 0; i < s.access.size(); ++i) {
+        out.access[i] += s.access[i];
+        s.access[i] = 0;
+      }
+      for (std::size_t i = 0; i < s.work.size(); ++i) {
+        out.work[i] += s.work[i];
+        s.work[i] = 0;
+      }
+    }
+  }
+
+ private:
+  /// Cache-line aligned so two shards' hot counters never share a line.
+  struct alignas(64) Slot {
+    std::vector<std::uint64_t> access;
+    std::vector<std::uint64_t> work;
+  };
+
+  std::size_t nodes_;
+  std::size_t items_;
+  std::vector<Slot> shards_;
+};
+
+}  // namespace ecoscale::repart

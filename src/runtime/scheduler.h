@@ -91,6 +91,25 @@ struct RuntimeConfig {
   /// a heartbeat monitor and recovered via re-execution on survivors.
   FaultConfig faults;
   std::uint64_t seed = 42;
+  /// --- Online repartitioning (src/repart/, DESIGN.md §7.11) -------------
+  /// Epoch period of the repartitioner a ShardedRuntime drives between
+  /// engine pauses; 0 = off (no epoch pauses, the legacy run loop). The
+  /// knobs below are read by repart::Repartitioner when it installs
+  /// itself; they live here so one RuntimeConfig describes a node's whole
+  /// policy surface.
+  SimDuration repartition_epoch = 0;
+  /// Rate limit: most item migrations a single epoch may execute.
+  std::size_t repartition_max_moves = 32;
+  /// Hysteresis floor on capacity-normalized load imbalance (max/mean - 1);
+  /// below it an epoch plans no balance moves.
+  double repartition_imbalance = 0.10;
+  /// Diffusion damping per epoch toward the capacity-proportional share.
+  double repartition_alpha = 0.5;
+  /// Epochs an item is frozen after it moves (anti-thrash hysteresis).
+  std::size_t repartition_cooldown = 2;
+  /// Locality moves require at least this windowed access-count advantage
+  /// at the preferred node, confirmed over two consecutive epochs.
+  std::uint64_t repartition_min_gain = 16;
 };
 
 struct RuntimeStats {
@@ -142,6 +161,26 @@ class RuntimeSystem {
 
   /// Live fault injector (nullptr unless config.faults.enabled).
   FaultInjector* faults() { return injector_.get(); }
+
+  std::size_t worker_count() const { return workers_.size(); }
+  /// Queue depth (queued + running) of `worker` — the same metric
+  /// admission control limits, exposed for the repartitioner's epoch
+  /// sampling (read only between engine windows, when nothing runs).
+  std::size_t queue_depth(std::size_t worker) const {
+    ECO_CHECK(worker < workers_.size());
+    const WorkerState& w = workers_[worker];
+    return w.queue.size() + (w.busy ? 1 : 0);
+  }
+  /// Workers the heartbeat monitor currently believes alive — the node's
+  /// effective capacity as far as any placement policy may legally know
+  /// (known_down, never the injector's ground truth).
+  std::size_t believed_alive_workers() const {
+    std::size_t alive = 0;
+    for (const WorkerState& w : workers_) {
+      if (!w.known_down) ++alive;
+    }
+    return alive;
+  }
 
   /// Called when a task's result is recorded, inside the completion event
   /// at result.finished (same causal point as results_.push_back). Serving

@@ -13,15 +13,29 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeConfig config)
   ECO_CHECK_MSG(config_.nodes >= 1, "need at least one node");
   const std::size_t n = config_.nodes;
 
-  // Node-level interconnect: every Compute Node is one endpoint behind a
-  // central switch, links carrying the machine's L1 (inter-node) tier
-  // parameters. Only route/latency queries are ever issued against it —
-  // the engine charges forwards its head latency; it never send()s, so it
-  // stays read-only during the parallel run.
+  // Node-level interconnect: by default every Compute Node is one endpoint
+  // behind a central switch, links carrying the machine's L1 (inter-node)
+  // tier parameters; internode_radices instead builds the multi-tier tree
+  // (level 0 = L1, higher levels = the costlier L2 parameters). Only
+  // route/latency/tree queries are ever issued against it — the engine
+  // charges forwards its head latency; it never send()s, so it stays
+  // read-only during the parallel run.
   NetworkConfig nc;
   nc.level_params = {{0, config_.machine.pgas.l1_link}};
-  internode_ = std::make_unique<Network>(
-      make_crossbar(std::max<std::size_t>(n, 2)), nc);
+  if (config_.internode_radices.empty()) {
+    internode_ = std::make_unique<Network>(
+        make_crossbar(std::max<std::size_t>(n, 2)), nc);
+  } else {
+    std::size_t leaves = 1;
+    for (const std::size_t r : config_.internode_radices) leaves *= r;
+    ECO_CHECK_MSG(leaves == n,
+                  "internode_radices leaf count must equal `nodes`");
+    for (std::size_t l = 1; l < config_.internode_radices.size(); ++l) {
+      nc.level_params[static_cast<int>(l)] = config_.machine.pgas.l2_link;
+    }
+    internode_ =
+        std::make_unique<Network>(make_tree(config_.internode_radices), nc);
+  }
   ECO_CHECK_MSG(internode_->implicit_routing(),
                 "inter-node crossbar must route implicitly (shard threads "
                 "query route_latency concurrently)");
@@ -60,6 +74,18 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeConfig config)
     slot.machine = std::make_unique<Machine>(mc);
     RuntimeConfig rc = config_.runtime;
     rc.seed = config_.runtime.seed + node;  // decorrelate per-node streams
+    for (const ShardedRuntimeConfig::NodeOutage& outage :
+         config_.node_outages) {
+      if (outage.node != node) continue;
+      ECO_CHECK_MSG(outage.repair_after > 0,
+                    "whole-node outages must repair (failover is "
+                    "node-local; a permanent loss strands its queue)");
+      rc.faults.enabled = true;
+      for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+        rc.faults.scripted_crashes.push_back(CrashEvent{
+            w, outage.at, /*permanent=*/false, outage.repair_after});
+      }
+    }
     slot.runtime = std::make_unique<RuntimeSystem>(
         *slot.machine, engine_->shard(node), rc);
     nodes_.push_back(std::move(slot));
@@ -92,7 +118,24 @@ void ShardedRuntime::post_task(std::size_t from, std::size_t to, Task task) {
 }
 
 void ShardedRuntime::run() {
-  engine_->run();
+  if (epoch_period_ > 0) {
+    // Epoch-driven drain: advance all shards to the next period boundary,
+    // pause, let the policy observe and act, resume. The hook runs on the
+    // calling thread with no shard executing, so everything it reads is
+    // deterministic simulation state and everything it schedules lands at
+    // or after the boundary — the thread-count-invariance argument of
+    // DESIGN.md §7.11. A hook that schedules nothing after the workload
+    // drains terminates the loop (run_until returns drained).
+    std::size_t epoch = 0;
+    for (;;) {
+      ++epoch;
+      const SimTime at = static_cast<SimTime>(epoch) * epoch_period_;
+      if (engine_->run_until(at)) break;
+      epoch_hook_(epoch, at);
+    }
+  } else {
+    engine_->run();
+  }
   // Each runtime's run() on a drained shard is a no-op that asserts no
   // task is still pending — the "all submitted work retired" postcondition.
   for (auto& node : nodes_) node.runtime->run();

@@ -24,7 +24,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -53,6 +55,26 @@ struct ShardedRuntimeConfig {
   /// the node) and workers_per_node to the field above. The PGAS l1 link
   /// parameters double as the inter-node links of the forwarding network.
   MachineConfig machine;
+  /// Shape of the inter-node interconnect. Empty (default): a flat
+  /// crossbar, every pair two hops apart — the legacy layout. Non-empty:
+  /// make_tree(radices) whose leaf count must equal `nodes` (e.g. {4, 2} =
+  /// two chassis of four nodes); level-0 links carry the PGAS l1
+  /// parameters and higher levels the costlier l2 parameters, so
+  /// crossing a chassis costs more hops *and* more latency. This is the
+  /// hierarchy the repartitioner's sibling-group diffusion runs over.
+  std::vector<std::size_t> internode_radices;
+  /// Scripted whole-node outage: every worker of `node` crashes at `at`
+  /// and repairs `repair_after` later (must be > 0 — a permanent loss of
+  /// a whole node would strand its queued tasks forever, since task
+  /// failover is node-local). The node's heartbeat monitor still runs, so
+  /// its believed-alive capacity collapses after detect_timeout — the
+  /// signal the repartitioner's diffusion drains it by.
+  struct NodeOutage {
+    std::size_t node = 0;
+    SimTime at = 0;
+    SimDuration repair_after = 0;
+  };
+  std::vector<NodeOutage> node_outages;
   /// Per-node scheduler configuration; the seed is decorrelated per node.
   RuntimeConfig runtime;
 };
@@ -78,6 +100,12 @@ class ShardedRuntime {
   RuntimeSystem& runtime(std::size_t node) { return *nodes_[node].runtime; }
   Simulator& shard(std::size_t node) { return engine_->shard(node); }
   ShardedSimulator& engine() { return *engine_; }
+  const ShardedRuntimeConfig& config() const { return config_; }
+  /// The node-level interconnect oracle (latency/hop/tree queries only —
+  /// nothing ever send()s on it). The repartitioner reads its implicit
+  /// tree to build the diffusion hierarchy and its hop counts to weigh
+  /// migration distance.
+  Network& internode() { return *internode_; }
 
   /// Register a kernel (with its HLS variants) on every node's runtime.
   void register_kernel(const KernelIR& kernel,
@@ -103,8 +131,27 @@ class ShardedRuntime {
     engine_->post(from, to, at, std::forward<F>(action));
   }
 
+  /// Epoch-driven control policy (the repartitioner): when installed with
+  /// a nonzero period, run() advances the engine in run_until() segments
+  /// of `period` and invokes the hook between them — single-threaded, with
+  /// every shard paused at the same simulated instant, so the hook may
+  /// read any node's deterministic state (obs counters, queue depths,
+  /// believed-alive sets) and schedule follow-on events on any shard.
+  /// Decisions taken in the hook are therefore a pure function of
+  /// simulation state, never of thread interleaving: --sim-threads N
+  /// stays byte-identical to 1. `at` is the epoch boundary k * period.
+  using EpochHook = std::function<void(std::size_t epoch, SimTime at)>;
+  void set_epoch_policy(SimDuration period, EpochHook hook) {
+    ECO_CHECK_MSG((period > 0) == static_cast<bool>(hook),
+                  "epoch policy needs a period and a hook (or neither)");
+    epoch_period_ = period;
+    epoch_hook_ = std::move(hook);
+  }
+
   /// Run windows until every shard and mailbox drains; asserts every
-  /// node's runtime retired all submitted tasks.
+  /// node's runtime retired all submitted tasks. With an epoch policy
+  /// installed the drain interleaves the epoch hook at every period
+  /// boundary (the hook is skipped once the workload has fully drained).
   void run();
 
   struct Stats {
@@ -139,6 +186,8 @@ class ShardedRuntime {
   std::unique_ptr<Network> internode_;  // latency oracle, never send()s
   std::unique_ptr<ShardedSimulator> engine_;
   std::vector<Node> nodes_;
+  SimDuration epoch_period_ = 0;
+  EpochHook epoch_hook_;
 };
 
 }  // namespace ecoscale

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/reduce.h"
+#include "interconnect/network.h"
 #include "obs/trace.h"
 
 namespace ecoscale::serve {
@@ -51,6 +52,8 @@ constexpr Bytes kSlotBytes = 16;
 struct ServeTraceNames {
   CounterId apply = CounterRegistry::intern("serve.apply");
   CounterId shed = CounterRegistry::intern("serve.shed");
+  CounterId forward = CounterRegistry::intern("serve.forward");
+  CounterId block_move = CounterRegistry::intern("unimem.block_move");
 };
 [[maybe_unused]] const ServeTraceNames& serve_trace_names() {
   static const ServeTraceNames names;
@@ -96,44 +99,83 @@ KvStore::KvStore(ShardedRuntime& rt, KvConfig config)
 
   const std::size_t per_node = rt_.machine(0).workers_per_node();
 
-  // Partition pass 1: count keys per (node, worker).
-  std::vector<std::vector<std::uint64_t>> counts(
-      nodes_, std::vector<std::uint64_t>(per_node, 0));
-  owner_node_of_key_.resize(config_.key_space);
-  std::vector<std::uint32_t> worker_of_key(config_.key_space);
-  for (std::uint64_t key = 0; key < config_.key_space; ++key) {
-    const std::uint64_t h = mix64(key);
-    const auto node = static_cast<std::uint32_t>(h % nodes_);
-    const auto worker = static_cast<std::uint32_t>((h >> 32) % per_node);
-    owner_node_of_key_[key] = node;
-    worker_of_key[key] = worker;
-    ++counts[node][worker];
-  }
-  // Pass 2: one PGAS region per (node, worker) in that node's private
-  // UNIMEM domain (the shard is the node, so node-local coordinates).
-  std::vector<std::vector<GlobalAddress>> base(
-      nodes_, std::vector<GlobalAddress>(per_node));
-  for (std::size_t n = 0; n < nodes_; ++n) {
-    for (std::size_t w = 0; w < per_node; ++w) {
-      if (counts[n][w] == 0) continue;
-      base[n][w] = rt_.machine(n).pgas().alloc(
-          0, static_cast<WorkerId>(w), counts[n][w] * kSlotBytes);
+  if (config_.repart_blocks > 0) {
+    // Block mode: contiguous key-range blocks, each pinned to worker
+    // (block % per_node) on whichever node currently owns it. Every node
+    // allocates a region big enough for the whole key space so any block
+    // can migrate in; slots assign in key order, so a block's slots are
+    // contiguous (migrate_item moves them as one DMA).
+    ECO_CHECK_MSG(config_.repart_blocks <= config_.key_space,
+                  "more blocks than keys");
+    static_block_owner_.resize(config_.repart_blocks);
+    for (std::uint32_t b = 0; b < config_.repart_blocks; ++b) {
+      static_block_owner_[b] =
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(b) * nodes_ /
+                                     config_.repart_blocks);
     }
-  }
-  // Pass 3: assign slots in key order.
-  slot_addr_of_key_.resize(config_.key_space);
-  std::vector<std::vector<std::uint64_t>> cursor(
-      nodes_, std::vector<std::uint64_t>(per_node, 0));
-  for (std::uint64_t key = 0; key < config_.key_space; ++key) {
-    const std::uint32_t n = owner_node_of_key_[key];
-    const std::uint32_t w = worker_of_key[key];
-    slot_addr_of_key_[key] =
-        (base[n][w] + cursor[n][w] * kSlotBytes).raw();
-    ++cursor[n][w];
+    std::vector<std::uint64_t> counts(per_node, 0);
+    for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+      ++counts[block_of(key) % per_node];
+    }
+    block_slot_addr_.assign(
+        nodes_, std::vector<std::uint64_t>(config_.key_space, 0));
+    for (std::size_t n = 0; n < nodes_; ++n) {
+      std::vector<GlobalAddress> base(per_node);
+      for (std::size_t w = 0; w < per_node; ++w) {
+        if (counts[w] == 0) continue;
+        base[w] = rt_.machine(n).pgas().alloc(0, static_cast<WorkerId>(w),
+                                              counts[w] * kSlotBytes);
+      }
+      std::vector<std::uint64_t> cursor(per_node, 0);
+      for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+        const std::size_t w = block_of(key) % per_node;
+        block_slot_addr_[n][key] = (base[w] + cursor[w] * kSlotBytes).raw();
+        ++cursor[w];
+      }
+    }
+  } else {
+    // Partition pass 1: count keys per (node, worker).
+    std::vector<std::vector<std::uint64_t>> counts(
+        nodes_, std::vector<std::uint64_t>(per_node, 0));
+    owner_node_of_key_.resize(config_.key_space);
+    std::vector<std::uint32_t> worker_of_key(config_.key_space);
+    for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+      const std::uint64_t h = mix64(key);
+      const auto node = static_cast<std::uint32_t>(h % nodes_);
+      const auto worker = static_cast<std::uint32_t>((h >> 32) % per_node);
+      owner_node_of_key_[key] = node;
+      worker_of_key[key] = worker;
+      ++counts[node][worker];
+    }
+    // Pass 2: one PGAS region per (node, worker) in that node's private
+    // UNIMEM domain (the shard is the node, so node-local coordinates).
+    std::vector<std::vector<GlobalAddress>> base(
+        nodes_, std::vector<GlobalAddress>(per_node));
+    for (std::size_t n = 0; n < nodes_; ++n) {
+      for (std::size_t w = 0; w < per_node; ++w) {
+        if (counts[n][w] == 0) continue;
+        base[n][w] = rt_.machine(n).pgas().alloc(
+            0, static_cast<WorkerId>(w), counts[n][w] * kSlotBytes);
+      }
+    }
+    // Pass 3: assign slots in key order.
+    slot_addr_of_key_.resize(config_.key_space);
+    std::vector<std::vector<std::uint64_t>> cursor(
+        nodes_, std::vector<std::uint64_t>(per_node, 0));
+    for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+      const std::uint32_t n = owner_node_of_key_[key];
+      const std::uint32_t w = worker_of_key[key];
+      slot_addr_of_key_[key] =
+          (base[n][w] + cursor[n][w] * kSlotBytes).raw();
+      ++cursor[n][w];
+    }
   }
 
   apply_log_.resize(nodes_);
   sheds_.assign(nodes_, 0);
+  remote_issues_.assign(nodes_, 0);
+  forwards_.assign(nodes_, 0);
+  byte_hops_.assign(nodes_, 0);
 
   rt_.register_kernel(kernel_, /*variants=*/{});
   for (std::size_t n = 0; n < nodes_; ++n) {
@@ -153,8 +195,30 @@ void KvStore::issue(std::size_t origin, KvOp op, std::uint64_t key,
   ECO_CHECK(origin < nodes_);
   ECO_CHECK(key < config_.key_space);
   ECO_CHECK_MSG(request != 0, "request ids must be nonzero");
-  const std::size_t owner = owner_node_of_key_[key];
-  const GlobalAddress slot = GlobalAddress::from_raw(slot_addr_of_key_[key]);
+  const std::size_t owner = owner_of(key);
+  WorkerId home_worker;
+  if (config_.repart_blocks > 0) {
+    const std::uint32_t block = block_of(key);
+    home_worker = static_cast<WorkerId>(
+        block % rt_.machine(0).workers_per_node());
+    // Issue-side load recording at the *origin* shard: the offered load of
+    // a block is what its clients want, not what its (possibly dead)
+    // owner manages to serve.
+    if (repart_ != nullptr) {
+      repart::LoadTracker& tracker = repart_->tracker();
+      tracker.record_access(origin, block, static_cast<std::uint32_t>(origin),
+                            config_.value_bytes);
+      tracker.record_work(origin, block, config_.service_items);
+    }
+    if (owner != origin) {
+      ++remote_issues_[origin];
+      byte_hops_[origin] +=
+          2 * config_.value_bytes *
+          static_cast<std::uint64_t>(rt_.internode().hop_count(origin, owner));
+    }
+  } else {
+    home_worker = GlobalAddress::from_raw(slot_addr_of_key_[key]).worker();
+  }
 
   Task task;
   task.id = request;
@@ -162,7 +226,7 @@ void KvStore::issue(std::size_t origin, KvOp op, std::uint64_t key,
   task.items = config_.service_items;
   task.features.items = static_cast<double>(config_.service_items);
   task.features.bytes = static_cast<double>(config_.value_bytes);
-  task.home = WorkerCoord{0, slot.worker()};  // node-local owning worker
+  task.home = WorkerCoord{0, home_worker};  // node-local owning worker
   task.payload[0] = pack_request(op, origin, key);
   task.payload[1] = value;
   if (owner == origin) {
@@ -182,9 +246,28 @@ void KvStore::issue(std::size_t origin, KvOp op, std::uint64_t key,
 void KvStore::on_complete(std::size_t owner, const Task& task,
                           const TaskResult& result) {
   const Decoded req = unpack_request(task.payload[0]);
+  if (config_.repart_blocks > 0) {
+    const std::size_t current = block_owner(block_of(req.key));
+    if (current != owner) {
+      // Stale routing: the block migrated while this request was queued
+      // or in flight. Re-home it to the current owner — the request pays
+      // the detour (the service work here was wasted), which is the real
+      // cost model of chasing a moved partition.
+      ++forwards_[owner];
+      byte_hops_[owner] +=
+          config_.value_bytes * static_cast<std::uint64_t>(
+                                    rt_.internode().hop_count(owner, current));
+      ECO_TRACE_INSTANT(obs::Cat::kServe, serve_trace_names().forward,
+                        (obs::Lane{static_cast<std::uint16_t>(owner), 0}),
+                        result.finished, task.id);
+      rt_.post_task(owner, current, task);
+      return;
+    }
+  }
   PgasSystem& pgas = rt_.machine(owner).pgas();
-  const GlobalAddress slot =
-      GlobalAddress::from_raw(slot_addr_of_key_[req.key]);
+  const GlobalAddress slot = GlobalAddress::from_raw(
+      config_.repart_blocks > 0 ? block_slot_addr_[owner][req.key]
+                                : slot_addr_of_key_[req.key]);
   const WorkerCoord who = pgas.coord(result.executed_on);
 
   // Timed storage access at the worker that executed the request: GET
@@ -273,6 +356,92 @@ void KvStore::respond(std::size_t owner, std::size_t origin, KvResponse resp,
     const SimTime now = rt_.shard(owner).now();
     rt_.post(owner, origin, depart - now, std::move(deliver));
   }
+}
+
+std::uint64_t KvStore::block_first(std::uint32_t block) const {
+  // Inverse of block_of (floor(key * blocks / keys)): smallest key that
+  // lands in `block`.
+  return (static_cast<std::uint64_t>(block) * config_.key_space +
+          config_.repart_blocks - 1) /
+         config_.repart_blocks;
+}
+
+std::uint64_t KvStore::block_keys(std::uint32_t block) const {
+  return block_first(block + 1) - block_first(block);
+}
+
+void KvStore::attach_repartitioner(repart::Repartitioner* rp) {
+  ECO_CHECK_MSG(config_.repart_blocks > 0,
+                "attach_repartitioner needs block mode (repart_blocks > 0)");
+  ECO_CHECK(rp != nullptr && rp->item_count() == config_.repart_blocks);
+  repart_ = rp;
+  rp->set_client(this);
+}
+
+std::uint64_t KvStore::item_bytes(std::uint32_t block) const {
+  return block_keys(block) * kSlotBytes;
+}
+
+void KvStore::migrate_item(std::uint32_t block, std::uint32_t from,
+                           std::uint32_t to, SimTime at) {
+  ECO_CHECK(config_.repart_blocks > 0 && from < nodes_ && to < nodes_);
+  PgasSystem& src = rt_.machine(from).pgas();
+  PgasSystem& dst = rt_.machine(to).pgas();
+  const std::uint64_t first = block_first(block);
+  const std::uint64_t count = block_keys(block);
+  // Functional move, slot by slot; the source slots are wiped so a bug
+  // that reads them after the cut surfaces as data loss, not stale data.
+  std::array<std::uint64_t, 2> words{};
+  const std::array<std::uint64_t, 2> zero{};
+  for (std::uint64_t key = first; key < first + count; ++key) {
+    const auto s = GlobalAddress::from_raw(block_slot_addr_[from][key]);
+    const auto d = GlobalAddress::from_raw(block_slot_addr_[to][key]);
+    src.read_bytes(s, std::span<std::uint8_t>(
+                          reinterpret_cast<std::uint8_t*>(words.data()),
+                          static_cast<std::size_t>(kSlotBytes)));
+    dst.write_bytes(d, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(words.data()),
+                           static_cast<std::size_t>(kSlotBytes)));
+    src.write_bytes(s, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(zero.data()),
+                           static_cast<std::size_t>(kSlotBytes)));
+  }
+  // Timed UNIMEM block DMA: one bulk read out of the donor, the wire
+  // latency, one bulk write into the receiver. A block's slots are
+  // contiguous in both regions, so each end is a single access. We are at
+  // an epoch pause (no shard running), so issuing timed accesses here is
+  // single-threaded and in deterministic plan order.
+  const auto worker = static_cast<WorkerId>(
+      block % rt_.machine(0).workers_per_node());
+  const Bytes bytes = count * kSlotBytes;
+  const MemAccess rd =
+      src.load(WorkerCoord{0, worker},
+               GlobalAddress::from_raw(block_slot_addr_[from][first]), bytes,
+               at);
+  const SimTime arrive =
+      std::max(rd.finish, at + rt_.inter_node_latency(from, to));
+  const MemAccess wr =
+      dst.store(WorkerCoord{0, worker},
+                GlobalAddress::from_raw(block_slot_addr_[to][first]), bytes,
+                arrive);
+  ECO_TRACE_SPAN(obs::Cat::kUnimem, serve_trace_names().block_move,
+                 (obs::Lane{static_cast<std::uint16_t>(to),
+                            static_cast<std::uint16_t>(worker)}),
+                 at, wr.finish, block);
+}
+
+KvStore::CrossStats KvStore::cross_stats() const {
+  return reduce_tree<CrossStats>(
+      nodes_, CrossStats{},
+      [&](std::size_t n) {
+        return CrossStats{remote_issues_[n], forwards_[n], byte_hops_[n]};
+      },
+      [](CrossStats a, const CrossStats& b) {
+        a.remote_issues += b.remote_issues;
+        a.forwards += b.forwards;
+        a.byte_hops += b.byte_hops;
+        return a;
+      });
 }
 
 std::uint64_t KvStore::sheds() const {

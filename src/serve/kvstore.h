@@ -25,6 +25,7 @@
 
 #include "common/units.h"
 #include "hls/ir.h"
+#include "repart/repart.h"
 #include "runtime/sharded.h"
 
 namespace ecoscale::serve {
@@ -41,6 +42,14 @@ struct KvConfig {
   Bytes value_bytes = 64;
   /// Work items of the KV kernel per request — the CPU service cost.
   std::uint64_t service_items = 32;
+  /// 0 (default): the legacy immutable hash partition. Nonzero: keys
+  /// group into this many contiguous-range *blocks* — the items the
+  /// online repartitioner migrates. Contiguity matters: a hash partition
+  /// would smear any per-origin key-range affinity across every block and
+  /// erase the locality signal the repartitioner follows. Every node
+  /// allocates slot storage for the whole key space so a block can land
+  /// anywhere; initial owners are contiguous (block * nodes / blocks).
+  std::size_t repart_blocks = 0;
 };
 
 /// One applied operation, recorded at the owning node in apply order.
@@ -68,7 +77,7 @@ struct KvResponse {
   SimTime completed = 0;  // arrival time back at the origin
 };
 
-class KvStore {
+class KvStore : public repart::RepartClient {
  public:
   KvStore(ShardedRuntime& rt, KvConfig config);
 
@@ -87,11 +96,53 @@ class KvStore {
   void issue(std::size_t origin, KvOp op, std::uint64_t key,
              std::uint64_t value, TaskId request);
 
+  /// Current owning node. In block mode this follows the repartitioner's
+  /// live owner table (written only at epoch pauses, so reads from shard
+  /// events are race-free and stable within an engine segment).
   std::size_t owner_of(std::uint64_t key) const {
-    return owner_node_of_key_[key];
+    if (config_.repart_blocks == 0) return owner_node_of_key_[key];
+    return block_owner(block_of(key));
   }
   const KvConfig& config() const { return config_; }
   const KernelIR& kernel() const { return kernel_; }
+
+  // --- Block mode (config().repart_blocks > 0) ---------------------------
+  std::size_t block_count() const { return config_.repart_blocks; }
+  std::uint32_t block_of(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(key * config_.repart_blocks /
+                                      config_.key_space);
+  }
+  std::size_t block_owner(std::uint32_t block) const {
+    return repart_ != nullptr ? repart_->owner(block)
+                              : static_block_owner_[block];
+  }
+  /// The canonical initial placement (contiguous key ranges) — construct
+  /// the Repartitioner with this.
+  std::vector<std::uint32_t> initial_block_owners() const {
+    return static_block_owner_;
+  }
+  /// Wire the store to its repartitioner: the store becomes the
+  /// RepartClient (block migration), issues record into the tracker
+  /// *issue-side at the origin* — so a crashed owner's blocks keep
+  /// accruing offered load while its believed-alive capacity collapses,
+  /// which is what lets diffusion drain a dead node — and owner lookups
+  /// follow the live table.
+  void attach_repartitioner(repart::Repartitioner* rp);
+
+  // RepartClient: bytes that travel when a block migrates, and the
+  // migration itself (functional slot copy + timed PGAS block DMA at both
+  // ends + a unimem.block_move span). Runs at an epoch pause.
+  std::uint64_t item_bytes(std::uint32_t block) const override;
+  void migrate_item(std::uint32_t block, std::uint32_t from, std::uint32_t to,
+                    SimTime at) override;
+
+  /// Cross-node traffic accounting (block mode), reduction-tree folded.
+  struct CrossStats {
+    std::uint64_t remote_issues = 0;  // requests issued to a remote owner
+    std::uint64_t forwards = 0;       // stale-owner re-homes in flight
+    std::uint64_t byte_hops = 0;      // request+reply+forward value bytes x hops
+  };
+  CrossStats cross_stats() const;
 
   const std::vector<KvApplyRecord>& apply_log(std::size_t node) const {
     return apply_log_[node];
@@ -110,6 +161,9 @@ class KvStore {
   /// Send `resp` back to `origin`, departing the owner at `depart`.
   void respond(std::size_t owner, std::size_t origin, KvResponse resp,
                SimTime depart);
+  /// First key of `block` and the key count (contiguous ranges).
+  std::uint64_t block_first(std::uint32_t block) const;
+  std::uint64_t block_keys(std::uint32_t block) const;
 
   ShardedRuntime& rt_;
   KvConfig config_;
@@ -118,9 +172,18 @@ class KvStore {
   /// Host-side partition tables, immutable after construction.
   std::vector<std::uint32_t> owner_node_of_key_;
   std::vector<std::uint64_t> slot_addr_of_key_;  // raw GlobalAddress
+  /// Block mode: per-node slot tables ([node][key], raw GlobalAddress —
+  /// every node can host any block) and the static placement used when no
+  /// repartitioner is attached.
+  std::vector<std::vector<std::uint64_t>> block_slot_addr_;
+  std::vector<std::uint32_t> static_block_owner_;
+  repart::Repartitioner* repart_ = nullptr;
   /// Shard-owned: index N is written only by events on shard N.
   std::vector<std::vector<KvApplyRecord>> apply_log_;
   std::vector<std::uint64_t> sheds_;
+  std::vector<std::uint64_t> remote_issues_;
+  std::vector<std::uint64_t> forwards_;
+  std::vector<std::uint64_t> byte_hops_;
   ResponseHandler response_handler_;
 };
 

@@ -88,9 +88,23 @@ void LoadGen::issue_one(std::size_t origin) {
       1 + static_cast<TaskId>(seq) * origins_.size() + origin;
 
   // Zipf rank -> key through a hash scatter so the hot ranks are spread
-  // across owners instead of clustering on low key ids.
+  // across owners instead of clustering on low key ids. Affine draws
+  // scatter within the origin's current phase window instead.
   const std::uint64_t rank = zipf_(o.rng);
-  const std::uint64_t key = mix64(rank) % kv_.config().key_space;
+  std::uint64_t key = mix64(rank) % kv_.config().key_space;
+  if (config_.origin_affinity > 0.0 &&
+      o.rng.uniform() < config_.origin_affinity) {
+    const std::uint64_t nodes = origins_.size();
+    const std::uint64_t window =
+        std::max<std::uint64_t>(kv_.config().key_space / nodes, 1);
+    const std::uint64_t phase =
+        config_.phase_period > 0
+            ? static_cast<std::uint64_t>(rt_.shard(origin).now()) /
+                  config_.phase_period
+            : 0;
+    const std::uint64_t base = ((origin + phase) % nodes) * window;
+    key = base + mix64(rank) % window;
+  }
   const double r = o.rng.uniform();
   KvOp op = KvOp::kSet;
   if (r < config_.get_fraction) {

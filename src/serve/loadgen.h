@@ -52,6 +52,17 @@ struct LoadGenConfig {
 
   /// Key popularity skew (0 = uniform) over the store's key space.
   double zipf_skew = 0.99;
+  /// Phase-affine traffic (the repartitioning workload): with this
+  /// probability a request's key is drawn from the origin's *affine
+  /// window* — a contiguous key_space/nodes range, Zipf-ranked within and
+  /// hash-scattered so hot keys spread over the window — instead of the
+  /// global draw. 0 (default) is the legacy generator, bit-for-bit.
+  double origin_affinity = 0.0;
+  /// Affine windows rotate one node every phase_period of simulated time
+  /// (origin o's window at phase p starts at ((o + p) % nodes) * window),
+  /// so the traffic's home keeps shifting and a static partition decays.
+  /// 0 = stationary windows.
+  SimDuration phase_period = 0;
   /// Operation mix; the remainder after get + delete is SET.
   double get_fraction = 0.80;
   double delete_fraction = 0.02;

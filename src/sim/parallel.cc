@@ -286,9 +286,12 @@ void ShardedSimulator::rethrow_shard_error() {
 }
 
 SimTime ShardedSimulator::shard_horizon(std::size_t d) const {
+  // Every mode's horizon is clamped to the run_until() bound: events at or
+  // after it belong to the next segment. The clamp keeps the horizon a
+  // pure function of published state, so determinism is unaffected.
   switch (config_.window_mode) {
     case WindowMode::kFixedWindow:
-      return plan_fixed_end_;
+      return std::min(plan_fixed_end_, run_bound_);
     case WindowMode::kAdaptive:
       break;
   }
@@ -306,12 +309,12 @@ SimTime ShardedSimulator::shard_horizon(std::size_t d) const {
       if (s == d || next == kNever) continue;
       best = std::min(best, next + pair_matrix_[s * n + d]);
     }
-    return best;
+    return std::min(best, run_bound_);
   }
   // Collapsed horizon from the planner's top-2 of next_s + source_floor_s:
   // min over s != d in O(1). source_floor <= L(s, d) for every d, so this
   // is a (possibly looser, never unsafe) bound.
-  return plan_src_arg_ == d ? plan_src2_ : plan_src1_;
+  return std::min(plan_src_arg_ == d ? plan_src2_ : plan_src1_, run_bound_);
 }
 
 void ShardedSimulator::prepare_run() {
@@ -409,7 +412,9 @@ void ShardedSimulator::plan_round() {
                         trace_prev_floor_, steals_);
     }
   }
-  if (floor == kNever) {
+  if (floor == kNever || floor >= run_bound_) {
+    // Drained, or every remaining event sits at or past the run_until()
+    // bound — this segment is over (the pending work is the next one's).
     done_.store(true, std::memory_order_relaxed);
     return;
   }
@@ -563,14 +568,27 @@ void ShardedSimulator::run_parallel() {
   if (failure) std::rethrow_exception(failure);
 }
 
-void ShardedSimulator::run() {
+void ShardedSimulator::run() { run_until(kNever); }
+
+bool ShardedSimulator::run_until(SimTime bound) {
+  run_bound_ = bound;
   prepare_run();
-  if (threads_ <= 1 || shards_.size() == 1) {
-    drive(0, nullptr, nullptr);
-  } else {
-    run_parallel();
+  try {
+    if (threads_ <= 1 || shards_.size() == 1) {
+      drive(0, nullptr, nullptr);
+    } else {
+      run_parallel();
+    }
+  } catch (...) {
+    run_bound_ = kNever;
+    throw;
   }
+  run_bound_ = kNever;
   rethrow_shard_error();
+  for (const auto& s : shards_) {
+    if (!s->sim.idle()) return false;
+  }
+  return true;
 }
 
 std::uint64_t ShardedSimulator::messages() const {

@@ -191,6 +191,18 @@ class ShardedSimulator {
   /// Rethrows the first (lowest shard id) exception an action threw.
   void run();
 
+  /// Run rounds until the shards drain OR the global next-event floor
+  /// reaches `bound`: every event strictly before `bound` executes, events
+  /// at or after it stay pending. Returns true when fully drained. Between
+  /// calls nothing is running, so a single-threaded controller may read
+  /// any shard's deterministic state and schedule new events (including at
+  /// times >= bound) before resuming — the epoch pause the runtime
+  /// repartitioner is built on (DESIGN.md §7.11). Horizons are the normal
+  /// WindowMode horizons clamped to `bound`, still a pure function of the
+  /// published next-event times, so the window schedule (and therefore the
+  /// simulation) stays byte-identical at any thread count.
+  bool run_until(SimTime bound);
+
   // --- accounting ---------------------------------------------------------
   // The first four are deterministic (thread-count invariant); spills and
   // steals are wall-clock-side.
@@ -340,6 +352,10 @@ class ShardedSimulator {
   SimTime plan_src1_ = kNever;   // top-2 of next_s + source_floor_[s]
   SimTime plan_src2_ = kNever;
   std::uint32_t plan_src_arg_ = 0;
+  /// Exclusive stop bound of the current run_until() segment (kNever for
+  /// a plain run()). Set before the workers start, cleared after they
+  /// join, read inside via plan_round()/shard_horizon() only.
+  SimTime run_bound_ = kNever;
   std::atomic<bool> done_{false};
 
   // Worker-0-only trace bookkeeping: the previous round's span is emitted

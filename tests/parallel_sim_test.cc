@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <numeric>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -794,6 +795,135 @@ TEST(ShardedRuntime, MixedUnimemUnilogicWorkloadIdenticalAcrossThreads) {
   EXPECT_GT(s1.cross_posts, 0u);
   EXPECT_GT(s1.windows, 0u);
   EXPECT_GT(s1.makespan, 0u);
+}
+
+// --- run_until(): the epoch-pause primitive ---------------------------------
+
+TEST(ShardedSimulator, RunUntilPausesAtTheExclusiveBoundary) {
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.lookahead = 5;
+  ShardedSimulator engine(sc);
+  std::vector<int> fired(2, 0);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (SimTime t = 10; t <= 100; t += 10) {
+      engine.shard(s).schedule_at(t, [&fired, s] { ++fired[s]; });
+    }
+  }
+  // Exclusive bound: events at 10..40 run, the event at exactly 50 stays
+  // pending — and there is still work, so the engine reports "not drained".
+  EXPECT_FALSE(engine.run_until(50));
+  EXPECT_EQ(fired[0], 4);
+  EXPECT_EQ(fired[1], 4);
+  // Re-pausing at the same bound is a no-op, not a re-execution.
+  EXPECT_FALSE(engine.run_until(50));
+  EXPECT_EQ(fired[0], 4);
+  // A bound past the last event drains fully and says so.
+  EXPECT_TRUE(engine.run_until(1000));
+  EXPECT_EQ(fired[0], 10);
+  EXPECT_EQ(fired[1], 10);
+  EXPECT_EQ(engine.events_processed(), 20u);
+}
+
+TEST(ShardedSimulator, ControllerMayScheduleAtThePauseOnAnyShard) {
+  ShardedConfig sc;
+  sc.shards = 4;
+  sc.lookahead = 5;
+  ShardedSimulator engine(sc);
+  std::vector<std::uint64_t> count(4, 0);
+  for (std::size_t s = 0; s < 4; ++s) {
+    engine.shard(s).schedule_at(3, [&count, s] { ++count[s]; });
+  }
+  // A far-out no-op keeps work pending through every pause we want to
+  // observe (run_until reports drained as soon as all queues are empty).
+  engine.shard(0).schedule_at(65, [] {});
+  SimTime bound = 0;
+  std::size_t pauses = 0;
+  // Controller loop: at every pause, inject one event at the boundary on
+  // a rotating shard (legal: nothing is running, and the boundary is at
+  // or after every shard's clock). The injected event lands in the *next*
+  // segment — the bound is exclusive.
+  while (!engine.run_until(bound += 10)) {
+    const std::size_t s = pauses % 4;
+    engine.shard(s).schedule_at(bound, [&count, s] { ++count[s]; });
+    ++pauses;
+  }
+  EXPECT_EQ(pauses, 6u);
+  EXPECT_EQ(std::accumulate(count.begin(), count.end(), 0ull), 10ull);
+}
+
+// One segmented run with a mid-run controller: chains of self-scheduling
+// events with deterministic cross-posts, paused every 17 ticks; at each
+// pause the controller folds the (deterministic) per-shard counters into
+// the hash and injects boundary events for the first few epochs. The
+// final hash must be byte-identical across thread counts — run_until's
+// pause is a consistent cut, never a function of the interleaving.
+std::uint64_t segmented_run_hash(std::size_t threads) {
+  ShardedConfig sc;
+  sc.shards = 4;
+  sc.lookahead = 7;
+  sc.threads = threads;
+  ShardedSimulator engine(sc);
+  std::vector<TraceHasher> hashes(4);
+  struct Chain {
+    ShardedSimulator* eng;
+    std::size_t shard;
+    TraceHasher* hashes;
+    int remaining;
+    Rng rng{0};
+    void fire() {
+      Simulator& sim = eng->shard(shard);
+      hashes[shard].mix(sim.now());
+      if (remaining-- <= 0) return;
+      if (rng.uniform_u64(3) == 0) {
+        const std::size_t to = (shard + 1) % 4;
+        TraceHasher* dest = &hashes[to];
+        ShardedSimulator* e = eng;
+        eng->post(shard, to, sim.now() + eng->lookahead() + rng.uniform_u64(11),
+                  [e, to, dest] { dest->mix(e->shard(to).now()); });
+      }
+      sim.schedule_after(1 + rng.uniform_u64(13), [this] { fire(); });
+    }
+  };
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (std::size_t s = 0; s < 4; ++s) {
+    chains.push_back(std::make_unique<Chain>());
+    Chain& c = *chains.back();
+    c.eng = &engine;
+    c.shard = s;
+    c.hashes = hashes.data();
+    c.remaining = 40;
+    c.rng = Rng(0xC0DE + s);
+    engine.shard(s).schedule_at(1 + static_cast<SimTime>(s), [&c] { c.fire(); });
+  }
+  TraceHasher controller;
+  SimTime bound = 0;
+  std::size_t epoch = 0;
+  while (!engine.run_until(bound += 17)) {
+    ++epoch;
+    // Mid-run shard state is stable at the pause: fold it in.
+    for (std::size_t s = 0; s < 4; ++s) {
+      controller.mix(engine.shard(s).now());
+      controller.mix(hashes[s].h);
+    }
+    if (epoch <= 4) {
+      const std::size_t s = epoch % 4;
+      engine.shard(s).schedule_at(bound + 1, [&hashes, &engine, s] {
+        hashes[s].mix(engine.shard(s).now());
+      });
+    }
+  }
+  for (std::size_t s = 0; s < 4; ++s) controller.mix(hashes[s].h);
+  controller.mix(engine.events_processed());
+  return controller.h;
+}
+
+TEST(ShardedSimulator, SegmentedRunsAreByteIdenticalAcrossThreads) {
+  const std::uint64_t h1 = segmented_run_hash(1);
+  const std::uint64_t h2 = segmented_run_hash(2);
+  const std::uint64_t h8 = segmented_run_hash(8);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h8);
 }
 
 TEST(ShardedRuntime, ForwardedTasksPayTheInterNodeLatency) {
